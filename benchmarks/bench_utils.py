@@ -1,0 +1,12 @@
+"""Utility helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are deterministic and each is itself a sizeable
+    workload, so a single round is the right granularity.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

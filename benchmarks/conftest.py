@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+same rows/series the paper reports, and archives the rendering under
+``benchmarks/results/`` so the numbers can be inspected (and quoted in
+EXPERIMENTS.md) after a run.
+
+pytest-benchmark is used in ``pedantic`` mode with a single round: the
+experiments are deterministic and each one is itself a sizeable workload,
+so the interesting output is the experiment result, with the runtime of the
+harness recorded as the benchmark value.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def archive(results_dir):
+    """Return a function that archives a rendered experiment and echoes it."""
+
+    def _archive(name: str, rendered: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+        print("\n" + rendered)
+
+    return _archive
+

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 10: the Pareto comparison against Paraprox.
+
+Paper findings the shape checks cover:
+
+* for Gaussian and Median our Stencil1/Rows1 configurations reach similar
+  or better speedup than the Paraprox output-approximation schemes at a
+  much lower error (our points dominate);
+* for Inversion both our Rows1 and Paraprox's Rows are Pareto-optimal;
+* Paraprox's Cols scheme is slower than the accurate kernel (bad alignment
+  with the row-major memory layout).
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import figure10
+
+
+def test_figure10_pareto_comparison(benchmark, archive):
+    result = run_once(benchmark, lambda: figure10.run(image_size=1024))
+    rendered = figure10.render(result)
+    archive("figure10", rendered)
+
+    # Our schemes dominate every Paraprox scheme for the stencil applications.
+    assert figure10.ours_dominates_paraprox(result, "gaussian")
+    assert figure10.ours_dominates_paraprox(result, "median")
+
+    for name, points in result.points.items():
+        ours = [p for p in points if p.family == "ours"]
+        paraprox = [p for p in points if p.family == "paraprox"]
+        # At least one of our configurations is Pareto-optimal everywhere.
+        assert any(p.pareto_optimal for p in ours), name
+        # Paraprox Cols1 is slower than the accurate kernel (speedup < 1).
+        cols = [p for p in paraprox if p.label == "Cols1"]
+        assert cols and cols[0].speedup < 1.0
+
+    # Gaussian numbers: stencil error well below 1%, both our schemes >1.5x.
+    gaussian = {p.label: p for p in result.points["gaussian"]}
+    assert gaussian["Stencil1:NN"].error < 0.01
+    assert gaussian["Stencil1:NN"].speedup > 1.5
+    assert gaussian["Rows1:NN"].speedup > 1.5
+    # Paraprox needs a much larger error for comparable speedup.
+    assert gaussian["Rows1"].error > gaussian["Rows1:NN"].error

@@ -1,0 +1,52 @@
+"""Benchmarks regenerating Figure 8 (scheme parameters) and Figure 9
+(work-group size tuning), both at the paper's 1024x1024 resolution.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import figure8, figure9
+
+
+def test_figure8_perforation_schemes(benchmark, archive):
+    result = run_once(benchmark, lambda: figure8.run(image_size=1024))
+    rendered = figure8.render(result)
+    archive("figure8", rendered)
+
+    for name in ("gaussian", "median"):
+        by_label = {p.label: p for p in result.sweeps[name].points}
+        # Error ordering of the paper: Stencil1 < Rows1:LI < Rows1:NN < Rows2:NN.
+        assert by_label["Stencil1:NN"].error < by_label["Rows1:NN"].error
+        assert by_label["Rows1:LI"].error <= by_label["Rows1:NN"].error
+        assert by_label["Rows2:NN"].error >= by_label["Rows1:NN"].error
+        # Paper: the stencil scheme's error is always below 1%.
+        assert by_label["Stencil1:NN"].error < 0.01
+
+    # Inversion has no stencil point (1x1 filter).
+    assert "Stencil1:NN" not in {p.label for p in result.sweeps["inversion"].points}
+
+    # Linear interpolation reduces the Rows1 error for every application
+    # (paper: -45% Gaussian, -21% Inversion, -34% Median).
+    assert all(reduction > 0.05 for reduction in result.li_error_reduction.values())
+
+
+def test_figure9_work_group_tuning(benchmark, archive):
+    result = run_once(benchmark, lambda: figure9.run(image_size=1024))
+    rendered = figure9.render(result)
+    archive("figure9", rendered)
+
+    for name, timings in result.timings.items():
+        baseline = {t.work_group: t.runtime_s for t in timings if t.variant == "Baseline"}
+        # Paper observation 1: configurations with x >= y are faster (the
+        # extreme 2x128 shape is the slowest of all).
+        worst = max(baseline, key=baseline.get)
+        assert worst[0] < worst[1]
+        assert baseline[(128, 2)] < baseline[(2, 128)]
+        # The approximate kernels are faster than the baseline at the same shape.
+        for variant in {t.variant for t in timings} - {"Baseline"}:
+            approx = {t.work_group: t.runtime_s for t in timings if t.variant == variant}
+            assert approx[(16, 16)] < baseline[(16, 16)]
+
+    # Paper observation 2: the best shape is x-major for every variant.
+    for per_variant in result.best_shape.values():
+        for shape in per_variant.values():
+            assert shape[0] >= shape[1]

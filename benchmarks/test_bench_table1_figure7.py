@@ -1,0 +1,32 @@
+"""Benchmarks regenerating Table 1 and Figure 7.
+
+* Table 1 lists the applications, their domains and error metrics.
+* Figure 7 shows how the Median application's error depends on the image
+  class (flat ~0.1%, natural ~5%, pattern ~20% in the paper).
+"""
+
+from bench_utils import run_once
+
+from repro.data.images import ImageClass
+from repro.experiments import figure7, table1
+
+
+def test_table1_applications(benchmark, archive):
+    result = run_once(benchmark, table1.run)
+    rendered = table1.render(result)
+    archive("table1", rendered)
+    assert len(result.rows) == 6
+    assert {row.application.lower() for row in result.rows} == {
+        "gaussian", "median", "hotspot", "inversion", "sobel3", "sobel5",
+    }
+
+
+def test_figure7_image_class_sensitivity(benchmark, archive):
+    result = run_once(benchmark, lambda: figure7.run(image_size=512))
+    rendered = figure7.render(result)
+    archive("figure7", rendered)
+    errors = result.errors
+    # The paper's ordering: flat << natural << pattern.
+    assert errors[ImageClass.FLAT] < errors[ImageClass.NATURAL] < errors[ImageClass.PATTERN]
+    assert errors[ImageClass.FLAT] < 0.01
+    assert errors[ImageClass.PATTERN] > 0.05

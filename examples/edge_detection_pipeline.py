@@ -1,0 +1,94 @@
+"""Edge-detection pipeline under an error budget.
+
+The paper's introduction motivates perforation with image pipelines whose
+stages tolerate small input errors.  This example builds the classic
+noise-reduction + edge-detection pipeline (Gaussian blur followed by a
+Sobel operator), then uses the quality-aware runtime to pick perforation
+configurations that keep the end-to-end error within a budget while
+maximising the modelled speedup on the simulated GPU.
+
+Run with:  python examples/edge_detection_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import GaussianApp, Sobel3App
+from repro.core import (
+    QualityAwareRuntime,
+    compute_error,
+    evaluate_configuration,
+    timing_for,
+)
+from repro.core.config import ACCURATE_CONFIG
+from repro.data import generate_image
+from repro.data.images import ImageClass
+
+
+def run_pipeline(image: np.ndarray, blur_config, edge_config) -> np.ndarray:
+    """Blur then edge-detect, each stage under its own configuration."""
+    blur = GaussianApp()
+    edges = Sobel3App()
+    blurred = (
+        blur.reference(image)
+        if blur_config.is_accurate
+        else blur.approximate(image, blur_config)
+    )
+    return (
+        edges.reference(blurred)
+        if edge_config.is_accurate
+        else edges.approximate(blurred, edge_config)
+    )
+
+
+def main() -> None:
+    calibration = [
+        generate_image(ImageClass.FLAT, size=512, seed=1),
+        generate_image(ImageClass.NATURAL, size=512, seed=2),
+    ]
+    test_image = generate_image(ImageClass.NATURAL, size=512, seed=42)
+    error_budget = 0.05
+
+    print("Calibrating per-stage configurations for a 5% end-to-end error budget...\n")
+    # Errors compound through the pipeline (the edge detector amplifies any
+    # error the blur stage leaves behind), so each stage gets a conservative
+    # slice of the budget: a quarter for the blur, half for the edges.
+    blur_runtime = QualityAwareRuntime(GaussianApp(), error_budget / 4)
+    blur_runtime.calibrate(calibration)
+    print(blur_runtime.report())
+    print()
+    edge_runtime = QualityAwareRuntime(Sobel3App(), error_budget / 2)
+    edge_runtime.calibrate(calibration)
+    print(edge_runtime.report())
+    print()
+
+    blur_config = blur_runtime.selected
+    edge_config = edge_runtime.selected
+
+    accurate = run_pipeline(test_image, ACCURATE_CONFIG, ACCURATE_CONFIG)
+    approximate = run_pipeline(test_image, blur_config, edge_config)
+    end_to_end_error = compute_error(accurate, approximate, Sobel3App().error_metric)
+
+    blur_speedup = evaluate_configuration(GaussianApp(), test_image, blur_config).speedup
+    edge_speedup = evaluate_configuration(Sobel3App(), test_image, edge_config).speedup
+    accurate_time = (
+        timing_for(GaussianApp(), ACCURATE_CONFIG, test_image).total_time_s
+        + timing_for(Sobel3App(), ACCURATE_CONFIG, test_image).total_time_s
+    )
+    approx_time = (
+        timing_for(GaussianApp(), blur_config, test_image).total_time_s
+        + timing_for(Sobel3App(), edge_config, test_image).total_time_s
+    )
+
+    print("Pipeline summary")
+    print("-" * 72)
+    print(f"  blur stage  : {blur_config.label:<14s} (stage speedup {blur_speedup:.2f}x)")
+    print(f"  edge stage  : {edge_config.label:<14s} (stage speedup {edge_speedup:.2f}x)")
+    print(f"  end-to-end modelled speedup : {accurate_time / approx_time:.2f}x")
+    print(f"  end-to-end error            : {end_to_end_error * 100:.2f}% (budget {100 * error_budget:.0f}%)")
+    print(f"  within budget               : {'yes' if end_to_end_error <= error_budget else 'no'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Local memory-aware kernel perforation — reproduction library.
+
+Reproduction of *Local Memory-Aware Kernel Perforation* (Maier, Cosenza,
+Juurlink; CGO 2018).  The library contains:
+
+* :mod:`repro.clsim` — an OpenCL-like GPU simulator (functional executor +
+  analytical timing model, FirePro-W5100-like device profile);
+* :mod:`repro.kernellang` — an OpenCL C subset compiler: parser, type
+  checker, interpreter, code generator, analyses and the perforation
+  passes;
+* :mod:`repro.core` — the paper's contribution: perforation schemes,
+  local-memory reconstruction, the kernel perforator, quality metrics,
+  tuning, Pareto analysis and a quality-aware runtime;
+* :mod:`repro.baselines` — Paraprox-style output approximation and classic
+  loop perforation;
+* :mod:`repro.apps` — the six benchmark applications (Gaussian, Inversion,
+  Median, Hotspot, Sobel3, Sobel5);
+* :mod:`repro.data` — synthetic input generators standing in for the
+  USC-SIPI image database and the Rodinia Hotspot inputs;
+* :mod:`repro.experiments` — one harness per table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "baselines",
+    "clsim",
+    "core",
+    "data",
+    "experiments",
+    "kernellang",
+]

@@ -1,0 +1,74 @@
+"""Gaussian 3x3 low-pass filter (image processing).
+
+The first benchmark of Table 1: a separable-looking but straightforwardly
+implemented 3x3 Gaussian blur.  It has data reuse across threads (every
+input pixel is read by nine work-items), so it is the archetypal kernel for
+local-memory staging — and therefore for local memory-aware perforation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import ApproximationConfig
+from ..core.quality import ErrorMetric
+from ..core.reconstruction import AccurateSampler
+from .base import Application
+from .stencils import convolve
+
+#: Normalised 3x3 Gaussian coefficients (sigma ~ 0.85).
+GAUSSIAN_WEIGHTS = np.array(
+    [
+        [1.0, 2.0, 1.0],
+        [2.0, 4.0, 2.0],
+        [1.0, 2.0, 1.0],
+    ]
+) / 16.0
+
+_KERNEL_SOURCE = """
+__constant float gauss_coeff[9] = {
+    0.0625f, 0.125f, 0.0625f,
+    0.125f,  0.25f,  0.125f,
+    0.0625f, 0.125f, 0.0625f
+};
+
+__kernel void gaussian(__global const float* input,
+                       __global float* output,
+                       int width, int height) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float sum = 0.0f;
+    for (int dy = -1; dy <= 1; dy++) {
+        for (int dx = -1; dx <= 1; dx++) {
+            int xx = clamp(x + dx, 0, width - 1);
+            int yy = clamp(y + dy, 0, height - 1);
+            sum += input[yy * width + xx] * gauss_coeff[(dy + 1) * 3 + (dx + 1)];
+        }
+    }
+    output[y * width + x] = sum;
+}
+"""
+
+
+class GaussianApp(Application):
+    """3x3 Gaussian blur."""
+
+    name = "gaussian"
+    domain = "Image processing"
+    error_metric = ErrorMetric.MEAN_RELATIVE_ERROR
+    halo = 1
+    flops_per_item = 18.0  # 9 multiply-adds
+    int_ops_per_item = 20.0  # index arithmetic and clamps
+    baseline_uses_local_memory = False  # the Paraprox-style baseline reads global memory
+
+    def kernel_source(self) -> str:
+        return _KERNEL_SOURCE
+
+    def reference(self, inputs) -> np.ndarray:
+        image = np.asarray(inputs, dtype=np.float64)
+        return convolve(AccurateSampler(image), GAUSSIAN_WEIGHTS)
+
+    def approximate(self, inputs, config: ApproximationConfig) -> np.ndarray:
+        image = np.asarray(inputs, dtype=np.float64)
+        sampler = self.sampler_for(image, config)
+        return convolve(sampler, GAUSSIAN_WEIGHTS)

@@ -1,0 +1,53 @@
+"""Image inversion (digital negative).
+
+The paper's artificial 1x1-filter benchmark: every output pixel depends on
+exactly one input pixel, so there is no data reuse across threads and the
+accurate kernel gains nothing from local memory.  It exists to show that
+input perforation still helps such kernels (Figure 10b) — the row scheme
+halves the input traffic — while the stencil scheme is inapplicable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import ApproximationConfig
+from ..core.quality import ErrorMetric
+from .base import Application
+
+#: Value the inversion is computed against (8-bit grayscale maximum).
+INVERSION_MAX = 255.0
+
+_KERNEL_SOURCE = """
+__kernel void inversion(__global const float* input,
+                        __global float* output,
+                        int width, int height) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    output[y * width + x] = 255.0f - input[y * width + x];
+}
+"""
+
+
+class InversionApp(Application):
+    """1x1 digital negative."""
+
+    name = "inversion"
+    domain = "Image processing"
+    error_metric = ErrorMetric.MEAN_RELATIVE_ERROR
+    halo = 0
+    flops_per_item = 1.0
+    int_ops_per_item = 6.0
+    baseline_uses_local_memory = False  # a prefetch step would only add overhead
+
+    def kernel_source(self) -> str:
+        return _KERNEL_SOURCE
+
+    def reference(self, inputs) -> np.ndarray:
+        image = np.asarray(inputs, dtype=np.float64)
+        return INVERSION_MAX - image
+
+    def approximate(self, inputs, config: ApproximationConfig) -> np.ndarray:
+        image = np.asarray(inputs, dtype=np.float64)
+        sampler = self.sampler_for(image, config)
+        return INVERSION_MAX - sampler.read_offset(0, 0)

@@ -1,0 +1,68 @@
+"""Shared helpers for stencil-style applications.
+
+The image-processing benchmarks all follow the same structure: gather a
+small neighbourhood of every pixel (through an :class:`InputSampler`, which
+may be exact or perforated + reconstructed) and combine it — by a weighted
+sum (Gaussian, Sobel), a rank filter (Median) or a finite-difference update
+(Hotspot).  The helpers here implement the gather/combine patterns once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.reconstruction import InputSampler
+
+
+def offsets_for_radius(radius: int) -> list[tuple[int, int]]:
+    """All (dx, dy) offsets of a square (2*radius+1)^2 neighbourhood."""
+    return [
+        (dx, dy)
+        for dy in range(-radius, radius + 1)
+        for dx in range(-radius, radius + 1)
+    ]
+
+
+def convolve(sampler: InputSampler, weights: np.ndarray) -> np.ndarray:
+    """2D convolution (correlation) of the sampled input with ``weights``.
+
+    ``weights`` is a (2r+1) x (2r+1) array; zero weights are skipped, which
+    matters for the Sobel masks whose centre column/row is zero.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1] or weights.shape[0] % 2 == 0:
+        raise ValueError(f"weights must be a square odd-sized array, got {weights.shape}")
+    radius = weights.shape[0] // 2
+    result = np.zeros((sampler.height, sampler.width), dtype=np.float64)
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            weight = weights[dy + radius, dx + radius]
+            if weight == 0.0:
+                continue
+            result += weight * sampler.read_offset(dx, dy)
+    return result
+
+
+def gather_neighborhood(sampler: InputSampler, radius: int) -> np.ndarray:
+    """Stack the full neighbourhood: shape ((2r+1)^2, height, width)."""
+    planes = [sampler.read_offset(dx, dy) for dx, dy in offsets_for_radius(radius)]
+    return np.stack(planes, axis=0)
+
+
+def rank_filter(sampler: InputSampler, radius: int, rank: str = "median") -> np.ndarray:
+    """Rank filter over the neighbourhood (``median``, ``min`` or ``max``)."""
+    neighborhood = gather_neighborhood(sampler, radius)
+    if rank == "median":
+        return np.median(neighborhood, axis=0)
+    if rank == "min":
+        return neighborhood.min(axis=0)
+    if rank == "max":
+        return neighborhood.max(axis=0)
+    raise ValueError(f"unknown rank {rank!r}")
+
+
+def count_nonzero_weights(weights: Iterable[Iterable[float]]) -> int:
+    """Number of non-zero coefficients (used for op-count estimates)."""
+    return int(np.count_nonzero(np.asarray(list(weights), dtype=np.float64)))

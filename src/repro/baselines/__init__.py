@@ -1,0 +1,48 @@
+"""``repro.baselines`` — the approaches the paper compares against.
+
+* :mod:`repro.baselines.paraprox` — Paraprox-style output approximation
+  (Row/Col/Center schemes at two aggressiveness levels), used in the
+  Figure 10 Pareto comparison;
+* :mod:`repro.baselines.loop_perforation` — classic sequential loop
+  perforation, used for the Section 4.1 exposition and the quick start.
+"""
+
+from .loop_perforation import (
+    PerforationOutcome,
+    accurate_loop,
+    compare_strategies,
+    input_perforation,
+    output_perforation,
+)
+from .paraprox import (
+    CENTER,
+    COL,
+    PARAPROX_SCHEMES,
+    ParaproxResult,
+    ParaproxScheme,
+    ROW,
+    approximate_output,
+    evaluate_all_schemes,
+    evaluate_paraprox,
+    paraprox_output,
+    paraprox_profile,
+)
+
+__all__ = [
+    "CENTER",
+    "COL",
+    "PARAPROX_SCHEMES",
+    "ParaproxResult",
+    "ParaproxScheme",
+    "PerforationOutcome",
+    "ROW",
+    "accurate_loop",
+    "approximate_output",
+    "compare_strategies",
+    "evaluate_all_schemes",
+    "evaluate_paraprox",
+    "input_perforation",
+    "output_perforation",
+    "paraprox_output",
+    "paraprox_profile",
+]

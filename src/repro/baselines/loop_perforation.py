@@ -1,0 +1,129 @@
+"""Classic (sequential) loop perforation.
+
+Sidiroglou et al. introduced loop perforation for sequential loops; the
+paper's Section 4.1 uses a small 1D example to explain the difference
+between *output perforation* (skip iterations, copy results) and *input
+perforation* (skip loads, reconstruct inputs, compute all results).  This
+module implements both on plain Python/NumPy loops, serving as the
+conceptual baseline and as the quick-start example of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.quality import mean_relative_error
+
+
+@dataclass(frozen=True)
+class PerforationOutcome:
+    """Result of a perforated loop execution."""
+
+    output: np.ndarray
+    evaluations: int
+    loads: int
+    error: float
+
+    @property
+    def evaluation_savings(self) -> float:
+        """Fraction of ``calc`` evaluations skipped relative to the accurate loop."""
+        return 1.0 - self.evaluations / self.output.size
+
+    @property
+    def load_savings(self) -> float:
+        """Fraction of input loads skipped relative to the accurate loop."""
+        return 1.0 - self.loads / self.output.size
+
+
+def accurate_loop(values: Sequence[float], calc: Callable[[float], float]) -> np.ndarray:
+    """The accurate reference: ``output[i] = calc(input[i])`` for every i."""
+    array = np.asarray(values, dtype=np.float64)
+    return np.array([calc(v) for v in array], dtype=np.float64)
+
+
+def output_perforation(
+    values: Sequence[float], calc: Callable[[float], float], period: int = 3
+) -> PerforationOutcome:
+    """Skip iterations and copy the last computed result (Section 4.1).
+
+    Every ``period``-th element is computed; the following ``period - 1``
+    outputs are copies of it.  Both the loads and the evaluations shrink by
+    the same factor, but the copied outputs carry the full error of being
+    computed from the wrong input.
+    """
+    if period < 2:
+        raise ConfigurationError("perforation period must be at least 2")
+    array = np.asarray(values, dtype=np.float64)
+    n = array.size
+    output = np.empty(n, dtype=np.float64)
+    evaluations = 0
+    loads = 0
+    for start in range(0, n, period):
+        result = calc(array[start])
+        evaluations += 1
+        loads += 1
+        end = min(start + period, n)
+        output[start:end] = result
+    reference = accurate_loop(array, calc)
+    return PerforationOutcome(
+        output=output,
+        evaluations=evaluations,
+        loads=loads,
+        error=mean_relative_error(reference, output),
+    )
+
+
+def input_perforation(
+    values: Sequence[float],
+    calc: Callable[[float], float],
+    period: int = 3,
+    linear: bool = True,
+) -> PerforationOutcome:
+    """Skip loads, reconstruct the inputs, and compute every output.
+
+    This is the 1D version of the paper's approach: the loads shrink by the
+    perforation factor, but because every output is still computed from a
+    (reconstructed) input, the error is much smaller than with output
+    perforation — provided the input has some smoothness.
+    """
+    if period < 2:
+        raise ConfigurationError("perforation period must be at least 2")
+    array = np.asarray(values, dtype=np.float64)
+    n = array.size
+    loaded_idx = np.arange(0, n, period)
+    loads = loaded_idx.size
+
+    reconstructed = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        below = (i // period) * period
+        if linear and below + period <= loaded_idx[-1]:
+            t = (i - below) / period
+            reconstructed[i] = (1.0 - t) * array[below] + t * array[below + period]
+        else:
+            nearest = min(((i + period // 2) // period) * period, loaded_idx[-1])
+            reconstructed[i] = array[nearest]
+    reconstructed[loaded_idx] = array[loaded_idx]
+
+    output = np.array([calc(v) for v in reconstructed], dtype=np.float64)
+    reference = accurate_loop(array, calc)
+    return PerforationOutcome(
+        output=output,
+        evaluations=n,
+        loads=loads,
+        error=mean_relative_error(reference, output),
+    )
+
+
+def compare_strategies(
+    values: Sequence[float], calc: Callable[[float], float], period: int = 3
+) -> dict[str, PerforationOutcome]:
+    """Run output perforation and both input-perforation variants side by side."""
+    return {
+        "output-perforation": output_perforation(values, calc, period),
+        "input-perforation-nn": input_perforation(values, calc, period, linear=False),
+        "input-perforation-li": input_perforation(values, calc, period, linear=True),
+    }

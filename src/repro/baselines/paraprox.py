@@ -1,0 +1,309 @@
+"""Paraprox-style output approximation (the state-of-the-art baseline).
+
+Paraprox [Samadi et al., ASPLOS 2014] approximates stencil kernels by
+computing only a subset of the *output* elements and copying the computed
+values to their neighbours (Figure 3 of the paper): the **Row** scheme
+computes one row per block and copies it to the adjacent rows, **Col** does
+the same with columns, and **Center** computes only the central element of
+each block.  The paper compares against these schemes at two aggressiveness
+levels: level 1 approximates 2 rows/columns per computed one (period 3) and
+level 2 approximates 4 (period 5).
+
+Functionally the approximation equals computing the accurate output and
+replicating the computed rows/columns/centres; that is how the NumPy path
+implements it.  The timing profile reflects Paraprox's key weakness that
+motivates the paper: the *input* is still read in full (the computed
+elements need their whole neighbourhood), so on memory-bound kernels the
+speedup saturates while the error grows quickly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clsim.device import Device, firepro_w5100
+from ..clsim.ndrange import NDRange
+from ..clsim.timing import (
+    AccessPattern,
+    GlobalTraffic,
+    KernelProfile,
+    TimingModel,
+    per_item_traffic,
+    tile_traffic,
+)
+from ..core.config import ApproximationConfig, DEFAULT_WORK_GROUP
+from ..core.errors import ConfigurationError
+from ..core.pipeline import baseline_config_for
+from ..core.quality import compute_error
+
+#: Scheme kinds.
+ROW = "rows"
+COL = "cols"
+CENTER = "center"
+
+_KINDS = (ROW, COL, CENTER)
+
+
+@dataclass(frozen=True)
+class ParaproxScheme:
+    """One Paraprox output-approximation scheme."""
+
+    kind: str
+    level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(f"unknown Paraprox scheme kind {self.kind!r}")
+        if self.level not in (1, 2):
+            raise ConfigurationError("Paraprox aggressiveness level must be 1 or 2")
+
+    @property
+    def period(self) -> int:
+        """Block size: 1 computed element per ``period`` rows/columns."""
+        return 3 if self.level == 1 else 5
+
+    @property
+    def computed_fraction(self) -> float:
+        """Fraction of output elements actually computed."""
+        if self.kind == CENTER:
+            return 1.0 / (self.period * self.period)
+        return 1.0 / self.period
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind.capitalize()}{self.level}"
+
+    def describe(self) -> str:
+        approx = self.period - 1
+        if self.kind == CENTER:
+            return (
+                f"{self.label}: compute the centre of every {self.period}x{self.period} "
+                "block, copy it to the block"
+            )
+        return (
+            f"{self.label}: compute 1 of every {self.period} {self.kind}, "
+            f"copy it to the {approx} adjacent ones"
+        )
+
+
+#: The six Paraprox configurations of Figure 10 (three kinds x two levels).
+PARAPROX_SCHEMES: tuple[ParaproxScheme, ...] = (
+    ParaproxScheme(ROW, 1),
+    ParaproxScheme(ROW, 2),
+    ParaproxScheme(COL, 1),
+    ParaproxScheme(COL, 2),
+    ParaproxScheme(CENTER, 1),
+    ParaproxScheme(CENTER, 2),
+)
+
+
+# ---------------------------------------------------------------------------
+# Functional path
+# ---------------------------------------------------------------------------
+def _replicate_indices(length: int, period: int) -> np.ndarray:
+    """Map every index to the computed index of its block.
+
+    Paraprox-style generated code computes the first row/column of each
+    block and copies it forward (``output[i+1] = output[i]`` in the paper's
+    own Section 4.1 illustration of output perforation), so the copy
+    distance grows up to ``period - 1`` — one source of the larger error of
+    output approximation compared to input reconstruction.
+    """
+    blocks = np.arange(length) // period
+    computed = blocks * period
+    return np.clip(computed, 0, length - 1)
+
+
+def approximate_output(accurate_output: np.ndarray, scheme: ParaproxScheme) -> np.ndarray:
+    """Apply the output approximation to an accurate result."""
+    output = np.asarray(accurate_output, dtype=np.float64)
+    if output.ndim != 2:
+        raise ConfigurationError("Paraprox output approximation expects 2D outputs")
+    rows, cols = output.shape
+    if scheme.kind == ROW:
+        return output[_replicate_indices(rows, scheme.period), :]
+    if scheme.kind == COL:
+        return output[:, _replicate_indices(cols, scheme.period)]
+    row_idx = _replicate_indices(rows, scheme.period)
+    col_idx = _replicate_indices(cols, scheme.period)
+    return output[np.ix_(row_idx, col_idx)]
+
+
+def paraprox_output(app, inputs, scheme: ParaproxScheme) -> np.ndarray:
+    """Run ``app`` under Paraprox output approximation."""
+    return approximate_output(app.reference(inputs), scheme)
+
+
+# ---------------------------------------------------------------------------
+# Timing path
+# ---------------------------------------------------------------------------
+def paraprox_profile(
+    app,
+    scheme: ParaproxScheme,
+    global_size: tuple[int, int],
+    work_group: tuple[int, int] = DEFAULT_WORK_GROUP,
+) -> tuple[KernelProfile, NDRange]:
+    """Traffic/operation profile of the Paraprox-approximated kernel.
+
+    Only the fraction of work-items that actually compute issues loads and
+    arithmetic; the full output is still written and — crucially — the full
+    input neighbourhood of every computed element is still fetched, so the
+    unique DRAM footprint barely shrinks.  The column scheme additionally
+    loses coalescing because the computed elements are spread across rows.
+    """
+    width, height = global_size
+    tile_x, tile_y = work_group
+    if width % tile_x or height % tile_y:
+        raise ConfigurationError(
+            f"work group {work_group} does not divide the global size {global_size}"
+        )
+    ndrange = NDRange((width, height), (tile_x, tile_y))
+    fraction = scheme.computed_fraction
+
+    traffic: list[GlobalTraffic] = []
+    for spec in app.input_specs():
+        reads_per_item = spec.reads_per_item * fraction
+        if scheme.kind == COL and spec.halo == 0:
+            # Strided single-element reads of the computed columns.
+            loaded = tile_x * tile_y * fraction
+            traffic.append(
+                GlobalTraffic(
+                    buffer=spec.name,
+                    segments_per_group=loaded,
+                    segment_elements=1.0,
+                    element_bytes=app.element_bytes,
+                    pattern=AccessPattern.STRIDED,
+                )
+            )
+            continue
+        if scheme.kind == COL and spec.halo > 0:
+            # Short row segments around each computed column.
+            columns = math.ceil(tile_x / scheme.period)
+            segment = 2 * spec.halo + 1
+            traffic.append(
+                GlobalTraffic(
+                    buffer=spec.name,
+                    segments_per_group=float((tile_y + 2 * spec.halo) * columns),
+                    segment_elements=float(segment),
+                    element_bytes=app.element_bytes,
+                    pattern=AccessPattern.ROW_CONTIGUOUS,
+                )
+            )
+            continue
+        if scheme.kind == ROW and spec.halo == 0:
+            rows = math.ceil(tile_y / scheme.period)
+            traffic.append(
+                tile_traffic(
+                    spec.name,
+                    tile_x,
+                    tile_y,
+                    halo=0,
+                    element_bytes=app.element_bytes,
+                    rows_loaded_fraction=rows / tile_y,
+                )
+            )
+            continue
+        # Row and Center schemes on stencil inputs: the computed elements'
+        # neighbourhoods still cover (almost) the whole tile.
+        traffic.append(
+            per_item_traffic(
+                spec.name,
+                tile_x,
+                tile_y,
+                elements_per_item=reads_per_item,
+                halo=spec.halo,
+                element_bytes=app.element_bytes,
+            )
+        )
+    traffic.append(
+        tile_traffic(
+            "output", tile_x, tile_y, halo=0, element_bytes=app.element_bytes, is_store=True
+        )
+    )
+
+    profile = KernelProfile(
+        name=f"{app.name}:paraprox-{scheme.label}",
+        traffic=tuple(traffic),
+        flops_per_item=app.flops_per_item * fraction + 1.0,
+        int_ops_per_item=app.int_ops_per_item,
+        sfu_ops_per_item=app.sfu_ops_per_item * fraction,
+        private_accesses_per_item=app.private_accesses_per_item * fraction,
+        barriers_per_group=0.0,
+        local_mem_bytes_per_group=0.0,
+        # Copying outputs to neighbours diverges within the wavefront.
+        divergence_factor=1.2,
+    )
+    return profile, ndrange
+
+
+@dataclass(frozen=True)
+class ParaproxResult:
+    """Error and modelled performance of one Paraprox scheme on one input."""
+
+    app_name: str
+    scheme: ParaproxScheme
+    error: float
+    baseline_time_s: float
+    approx_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_time_s / self.approx_time_s
+
+    @property
+    def label(self) -> str:
+        return self.scheme.label
+
+    def describe(self) -> str:
+        return (
+            f"{self.app_name:<10s} paraprox {self.label:<8s} "
+            f"error={self.error * 100:6.2f}%  speedup={self.speedup:5.2f}x"
+        )
+
+
+def evaluate_paraprox(
+    app,
+    inputs,
+    scheme: ParaproxScheme,
+    device: Device | None = None,
+    reference: np.ndarray | None = None,
+    work_group: tuple[int, int] = DEFAULT_WORK_GROUP,
+) -> ParaproxResult:
+    """Evaluate one Paraprox scheme on one input (error + modelled speedup)."""
+    device = device or firepro_w5100()
+    model = TimingModel(device)
+    if reference is None:
+        reference = app.reference(inputs)
+    approximate = approximate_output(reference, scheme)
+    error = compute_error(reference, approximate, app.error_metric)
+
+    global_size = app.global_size(inputs)
+    base_profile, base_nd = app.profile(baseline_config_for(app), global_size)
+    approx_profile, approx_nd = paraprox_profile(app, scheme, global_size, work_group)
+    baseline_time = model.estimate(base_profile, base_nd).total_time_s
+    approx_time = model.estimate(approx_profile, approx_nd).total_time_s
+    return ParaproxResult(
+        app_name=app.name,
+        scheme=scheme,
+        error=error,
+        baseline_time_s=baseline_time,
+        approx_time_s=approx_time,
+    )
+
+
+def evaluate_all_schemes(
+    app,
+    inputs,
+    device: Device | None = None,
+    schemes: tuple[ParaproxScheme, ...] = PARAPROX_SCHEMES,
+) -> list[ParaproxResult]:
+    """Evaluate every Paraprox scheme on one input (Figure 10 baseline set)."""
+    device = device or firepro_w5100()
+    reference = app.reference(inputs)
+    return [
+        evaluate_paraprox(app, inputs, scheme, device=device, reference=reference)
+        for scheme in schemes
+    ]

@@ -1,0 +1,152 @@
+"""Functional execution of kernels over an NDRange.
+
+The executor runs a kernel work group by work group.  Within a work group
+all work-items advance in lock-step between barriers: kernel bodies written
+as generators yield :data:`~repro.clsim.kernel.BARRIER` at synchronisation
+points, and the executor only resumes work-items once every member of the
+group has reached the barrier.  This reproduces the OpenCL execution model
+closely enough to validate the perforation/reconstruction transformations
+functionally (the analytical timing model handles performance separately).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .device import Device, firepro_w5100
+from .errors import BarrierDivergenceError, KernelExecutionError
+from .kernel import BARRIER, Kernel, KernelContext
+from .memory import AccessCounters, LocalMemory
+from .ndrange import NDRange
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate access statistics of one kernel launch."""
+
+    work_items: int = 0
+    work_groups: int = 0
+    barriers: int = 0
+    global_counters: AccessCounters = field(default_factory=AccessCounters)
+    local_counters: AccessCounters = field(default_factory=AccessCounters)
+    private_counters: AccessCounters = field(default_factory=AccessCounters)
+
+    @property
+    def global_accesses(self) -> int:
+        return self.global_counters.total
+
+    @property
+    def local_accesses(self) -> int:
+        return self.local_counters.total
+
+
+class Executor:
+    """Runs kernels functionally on a simulated device."""
+
+    def __init__(self, device: Device | None = None) -> None:
+        self.device = device or firepro_w5100()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kernel: Kernel,
+        ndrange: NDRange,
+        args: Mapping[str, object] | Sequence[object],
+    ) -> ExecutionStats:
+        """Execute ``kernel`` over ``ndrange`` with the given arguments.
+
+        Buffer contents are updated in place; the returned
+        :class:`ExecutionStats` aggregates the memory-access counters of the
+        launch (useful for validating traffic profiles against the
+        functional execution).
+        """
+        ndrange.validate_for_device(self.device)
+        bound = kernel.bind_args(args)
+        stats = ExecutionStats()
+
+        # Snapshot buffer counters so the stats reflect only this launch.
+        buffers = [v for v in bound.values() if hasattr(v, "counters")]
+        before = [(b, b.counters.reads, b.counters.writes) for b in buffers]
+
+        local = LocalMemory(self.device.local_mem_per_cu)
+        for group_id in ndrange.group_ids():
+            local.reset()
+            ctx = KernelContext(
+                args=dict(bound), local=local, ndrange=ndrange, group_id=group_id
+            )
+            stats.barriers += self._run_group(kernel, ctx, ndrange, group_id)
+            stats.work_groups += 1
+            stats.local_counters.merge(local.counters)
+            for private in ctx.private.values():
+                stats.private_counters.merge(private.counters)
+
+        stats.work_items = ndrange.total_work_items
+        for buf, reads0, writes0 in before:
+            stats.global_counters.reads += buf.counters.reads - reads0
+            stats.global_counters.writes += buf.counters.writes - writes0
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_group(
+        self,
+        kernel: Kernel,
+        ctx: KernelContext,
+        ndrange: NDRange,
+        group_id: tuple[int, ...],
+    ) -> int:
+        """Run all work-items of one group; returns the number of barriers."""
+        work_items = list(ndrange.work_items_in_group(group_id))
+        if not inspect.isgeneratorfunction(kernel.body):
+            for wi in work_items:
+                try:
+                    kernel.body(ctx, wi)
+                except KernelExecutionError:
+                    raise
+                except Exception as exc:  # pragma: no cover - defensive
+                    raise KernelExecutionError(
+                        f"kernel {kernel.name!r} failed for work-item {wi.global_id}: {exc}"
+                    ) from exc
+            return 0
+
+        generators = []
+        for wi in work_items:
+            try:
+                generators.append((wi, kernel.body(ctx, wi)))
+            except Exception as exc:  # pragma: no cover - defensive
+                raise KernelExecutionError(
+                    f"kernel {kernel.name!r} failed to start for work-item "
+                    f"{wi.global_id}: {exc}"
+                ) from exc
+
+        barriers = 0
+        active = generators
+        while active:
+            still_running = []
+            finished = []
+            for wi, gen in active:
+                try:
+                    value = next(gen)
+                except StopIteration:
+                    finished.append((wi, gen))
+                    continue
+                except Exception as exc:
+                    raise KernelExecutionError(
+                        f"kernel {kernel.name!r} failed for work-item {wi.global_id}: {exc}"
+                    ) from exc
+                if value is not BARRIER and value != BARRIER:
+                    raise KernelExecutionError(
+                        f"kernel {kernel.name!r} yielded unexpected value {value!r}; "
+                        f"kernels may only yield BARRIER"
+                    )
+                still_running.append((wi, gen))
+            if still_running and finished:
+                raise BarrierDivergenceError(
+                    f"kernel {kernel.name!r}: work-items of group {group_id} reached "
+                    f"different numbers of barriers"
+                )
+            if still_running:
+                barriers += 1
+            active = still_running
+        return barriers

@@ -1,0 +1,217 @@
+"""NDRange and work-group index arithmetic.
+
+OpenCL launches a kernel over an *NDRange*: a 1-, 2- or 3-dimensional grid
+of work-items, partitioned into equally sized work groups.  This module
+implements the index math (global id, local id, group id, group count) that
+both the functional executor and the timing model rely on.
+
+Conventions follow OpenCL: dimension 0 is the fastest-varying ("x")
+dimension; for image kernels in this project dimension 0 indexes columns
+and dimension 1 indexes rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .device import Device
+from .errors import InvalidNDRangeError, InvalidWorkGroupSizeError
+
+
+def _normalize(shape: Sequence[int], what: str) -> tuple[int, ...]:
+    dims = tuple(int(v) for v in shape)
+    if not 1 <= len(dims) <= 3:
+        raise InvalidNDRangeError(f"{what} must have 1-3 dimensions, got {len(dims)}")
+    if any(d <= 0 for d in dims):
+        raise InvalidNDRangeError(f"{what} dimensions must be positive, got {dims}")
+    return dims
+
+
+@dataclass(frozen=True)
+class WorkItemId:
+    """Identifies a single work-item inside an NDRange.
+
+    Attributes
+    ----------
+    global_id:
+        Position in the full NDRange, one entry per dimension.
+    local_id:
+        Position within the work group.
+    group_id:
+        Index of the work group within the grid of groups.
+    """
+
+    global_id: tuple[int, ...]
+    local_id: tuple[int, ...]
+    group_id: tuple[int, ...]
+
+    def gid(self, dim: int = 0) -> int:
+        """OpenCL ``get_global_id(dim)``."""
+        return self.global_id[dim]
+
+    def lid(self, dim: int = 0) -> int:
+        """OpenCL ``get_local_id(dim)``."""
+        return self.local_id[dim]
+
+    def grp(self, dim: int = 0) -> int:
+        """OpenCL ``get_group_id(dim)``."""
+        return self.group_id[dim]
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A kernel launch configuration: global size plus work-group (local) size.
+
+    The local size must evenly divide the global size in every dimension,
+    mirroring OpenCL 1.2 semantics (no remainder groups).
+    """
+
+    global_size: tuple[int, ...]
+    local_size: tuple[int, ...]
+
+    def __init__(self, global_size: Sequence[int], local_size: Sequence[int]) -> None:
+        gsz = _normalize(global_size, "global_size")
+        lsz = _normalize(local_size, "local_size")
+        if len(gsz) != len(lsz):
+            raise InvalidNDRangeError(
+                f"global_size and local_size must have the same rank "
+                f"({len(gsz)} vs {len(lsz)})"
+            )
+        for dim, (g, l) in enumerate(zip(gsz, lsz)):
+            if g % l != 0:
+                raise InvalidWorkGroupSizeError(
+                    f"local size {l} does not divide global size {g} in dimension {dim}"
+                )
+        object.__setattr__(self, "global_size", gsz)
+        object.__setattr__(self, "local_size", lsz)
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Number of dimensions (1-3)."""
+        return len(self.global_size)
+
+    @property
+    def total_work_items(self) -> int:
+        """Total number of work-items in the NDRange."""
+        total = 1
+        for g in self.global_size:
+            total *= g
+        return total
+
+    @property
+    def work_group_size(self) -> int:
+        """Number of work-items per work group."""
+        total = 1
+        for l in self.local_size:
+            total *= l
+        return total
+
+    @property
+    def num_groups(self) -> tuple[int, ...]:
+        """Number of work groups along each dimension."""
+        return tuple(g // l for g, l in zip(self.global_size, self.local_size))
+
+    @property
+    def total_groups(self) -> int:
+        """Total number of work groups."""
+        total = 1
+        for n in self.num_groups:
+            total *= n
+        return total
+
+    # ------------------------------------------------------------------
+    def validate_for_device(self, device: Device) -> None:
+        """Check device limits (maximum work-group size, wavefront alignment).
+
+        Raises :class:`InvalidWorkGroupSizeError` when the configuration
+        cannot be launched on ``device``.
+        """
+        if self.work_group_size > device.max_work_group_size:
+            raise InvalidWorkGroupSizeError(
+                f"work-group size {self.work_group_size} exceeds device limit "
+                f"{device.max_work_group_size}"
+            )
+
+    def waves_per_group(self, device: Device) -> int:
+        """Number of wavefronts needed to cover one work group on ``device``."""
+        wave = device.wavefront_size
+        return (self.work_group_size + wave - 1) // wave
+
+    # ------------------------------------------------------------------
+    def group_ids(self) -> Iterator[tuple[int, ...]]:
+        """Iterate over all work-group ids in row-major order (dim 0 fastest)."""
+        counts = self.num_groups
+        if self.rank == 1:
+            for x in range(counts[0]):
+                yield (x,)
+        elif self.rank == 2:
+            for y in range(counts[1]):
+                for x in range(counts[0]):
+                    yield (x, y)
+        else:
+            for z in range(counts[2]):
+                for y in range(counts[1]):
+                    for x in range(counts[0]):
+                        yield (x, y, z)
+
+    def work_items_in_group(self, group_id: Sequence[int]) -> Iterator[WorkItemId]:
+        """Iterate over the work-items of one work group."""
+        gid = tuple(int(v) for v in group_id)
+        if len(gid) != self.rank:
+            raise InvalidNDRangeError(
+                f"group id rank {len(gid)} does not match NDRange rank {self.rank}"
+            )
+        counts = self.num_groups
+        for dim, (g, n) in enumerate(zip(gid, counts)):
+            if not 0 <= g < n:
+                raise InvalidNDRangeError(
+                    f"group id {gid} out of range {counts} in dimension {dim}"
+                )
+        local_ranges = [range(l) for l in self.local_size]
+        if self.rank == 1:
+            for lx in local_ranges[0]:
+                yield WorkItemId(
+                    global_id=(gid[0] * self.local_size[0] + lx,),
+                    local_id=(lx,),
+                    group_id=gid,
+                )
+        elif self.rank == 2:
+            for ly in local_ranges[1]:
+                for lx in local_ranges[0]:
+                    yield WorkItemId(
+                        global_id=(
+                            gid[0] * self.local_size[0] + lx,
+                            gid[1] * self.local_size[1] + ly,
+                        ),
+                        local_id=(lx, ly),
+                        group_id=gid,
+                    )
+        else:
+            for lz in local_ranges[2]:
+                for ly in local_ranges[1]:
+                    for lx in local_ranges[0]:
+                        yield WorkItemId(
+                            global_id=(
+                                gid[0] * self.local_size[0] + lx,
+                                gid[1] * self.local_size[1] + ly,
+                                gid[2] * self.local_size[2] + lz,
+                            ),
+                            local_id=(lx, ly, lz),
+                            group_id=gid,
+                        )
+
+    def work_items(self) -> Iterator[WorkItemId]:
+        """Iterate over every work-item in the NDRange, group by group."""
+        for gid in self.group_ids():
+            yield from self.work_items_in_group(gid)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NDRange(global={self.global_size}, local={self.local_size})"
+
+
+def ndrange_2d(width: int, height: int, local_x: int, local_y: int) -> NDRange:
+    """Convenience constructor for the common 2D image-kernel launch."""
+    return NDRange((width, height), (local_x, local_y))

@@ -1,0 +1,119 @@
+"""Command queue: ties together functional execution and timing estimation.
+
+A :class:`CommandQueue` mimics the OpenCL host API surface used by the
+applications in this project: create buffers, enqueue kernels over an
+NDRange, and read profiling information back from the returned
+:class:`Event`.  "Profiling" times come from the analytical
+:class:`~repro.clsim.timing.TimingModel` rather than a wall clock, so the
+reported runtimes are the modelled GPU times the experiments compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .device import Device, firepro_w5100
+from .errors import ProfilingError
+from .executor import ExecutionStats, Executor
+from .kernel import Kernel
+from .memory import Buffer
+from .ndrange import NDRange
+from .timing import KernelProfile, TimingBreakdown, TimingModel
+
+
+@dataclass
+class Event:
+    """Result of an enqueued kernel launch."""
+
+    kernel_name: str
+    ndrange: NDRange
+    stats: ExecutionStats | None = None
+    timing: TimingBreakdown | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Modelled execution time of the launch in seconds."""
+        if self.timing is None:
+            raise ProfilingError(
+                f"launch of {self.kernel_name!r} has no timing information; "
+                "pass a KernelProfile (or a profile_factory on the kernel)"
+            )
+        return self.timing.total_time_s
+
+    @property
+    def duration_ms(self) -> float:
+        """Modelled execution time in milliseconds."""
+        return self.duration_s * 1e3
+
+
+class CommandQueue:
+    """An in-order command queue on a simulated device."""
+
+    def __init__(self, device: Device | None = None, profiling: bool = True) -> None:
+        self.device = device or firepro_w5100()
+        self.profiling = profiling
+        self.executor = Executor(self.device)
+        self.timing_model = TimingModel(self.device)
+        self.events: list[Event] = []
+
+    # ------------------------------------------------------------------
+    def create_buffer(self, array: np.ndarray, name: str = "buffer") -> Buffer:
+        """Create a device buffer initialised from ``array``."""
+        return Buffer(array, name=name)
+
+    def create_output_like(self, buffer: Buffer, name: str = "output") -> Buffer:
+        """Create a zero-initialised buffer shaped like ``buffer``."""
+        return Buffer.empty_like(buffer, name=name)
+
+    # ------------------------------------------------------------------
+    def enqueue(
+        self,
+        kernel: Kernel,
+        ndrange: NDRange,
+        args: Mapping[str, object] | Sequence[object],
+        profile: KernelProfile | None = None,
+        execute: bool = True,
+    ) -> Event:
+        """Enqueue a kernel launch.
+
+        Parameters
+        ----------
+        kernel, ndrange, args:
+            What to run.  ``args`` may be a mapping or a positional sequence.
+        profile:
+            Optional explicit timing profile; when omitted the kernel's own
+            ``profile_factory`` is consulted.
+        execute:
+            When ``False`` the kernel is only *timed*, not functionally
+            executed (used by the large parameter sweeps where functional
+            output is produced by the vectorised application code instead).
+        """
+        stats = None
+        if execute:
+            stats = self.executor.run(kernel, ndrange, args)
+
+        timing = None
+        if self.profiling:
+            bound = kernel.bind_args(args)
+            prof = profile if profile is not None else kernel.profile(ndrange, bound)
+            if prof is not None:
+                timing = self.timing_model.estimate(prof, ndrange)
+
+        event = Event(kernel_name=kernel.name, ndrange=ndrange, stats=stats, timing=timing)
+        self.events.append(event)
+        return event
+
+    def estimate(self, profile: KernelProfile, ndrange: NDRange) -> TimingBreakdown:
+        """Time a profile without running anything (pure analytical path)."""
+        return self.timing_model.estimate(profile, ndrange)
+
+    # ------------------------------------------------------------------
+    def total_time_s(self) -> float:
+        """Sum of the modelled durations of all profiled launches so far."""
+        return sum(e.timing.total_time_s for e in self.events if e.timing is not None)
+
+    def finish(self) -> None:
+        """No-op (execution is synchronous); kept for OpenCL API parity."""

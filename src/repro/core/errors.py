@@ -1,0 +1,28 @@
+"""Exceptions raised by the kernel-perforation core."""
+
+from __future__ import annotations
+
+
+class PerforationError(Exception):
+    """Base class for errors raised by :mod:`repro.core`."""
+
+
+class SchemeError(PerforationError):
+    """Raised for invalid perforation-scheme parameters or usage."""
+
+
+class ReconstructionError(PerforationError):
+    """Raised for invalid reconstruction parameters or inputs."""
+
+
+class ConfigurationError(PerforationError):
+    """Raised when an approximation configuration is inconsistent
+    (e.g. stencil perforation requested for a 1x1 kernel)."""
+
+
+class QualityError(PerforationError):
+    """Raised for invalid error-metric computations."""
+
+
+class TuningError(PerforationError):
+    """Raised by the parameter-exploration and runtime components."""

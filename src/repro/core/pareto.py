@@ -1,0 +1,114 @@
+"""Pareto-optimality analysis (Section 6.4 of the paper).
+
+Every evaluated configuration is a point in the (speedup, error) plane;
+a configuration is Pareto-optimal when no other configuration is both
+faster and more accurate.  The functions here are generic over any object
+exposing ``speedup`` and ``error`` attributes (e.g.
+:class:`~repro.core.pipeline.ConfigurationResult` or
+:class:`~repro.core.tuning.SweepPoint`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _default_error(point) -> float:
+    return float(point.error)
+
+
+def _default_speedup(point) -> float:
+    return float(point.speedup)
+
+
+def dominates(
+    a: T,
+    b: T,
+    error_of: Callable[[T], float] = _default_error,
+    speedup_of: Callable[[T], float] = _default_speedup,
+) -> bool:
+    """Whether point ``a`` dominates point ``b``.
+
+    ``a`` dominates ``b`` when it is at least as fast *and* at least as
+    accurate, and strictly better in at least one of the two.
+    """
+    not_worse = speedup_of(a) >= speedup_of(b) and error_of(a) <= error_of(b)
+    strictly_better = speedup_of(a) > speedup_of(b) or error_of(a) < error_of(b)
+    return not_worse and strictly_better
+
+
+def pareto_front(
+    points: Sequence[T],
+    error_of: Callable[[T], float] = _default_error,
+    speedup_of: Callable[[T], float] = _default_speedup,
+) -> list[T]:
+    """Return the Pareto-optimal subset of ``points``.
+
+    The result is sorted by increasing speedup (and therefore, along the
+    front, by increasing error), which matches how the paper draws the
+    dashed front in Figure 10.
+    """
+    front: list[T] = []
+    for candidate in points:
+        if any(
+            dominates(other, candidate, error_of, speedup_of)
+            for other in points
+            if other is not candidate
+        ):
+            continue
+        front.append(candidate)
+    # Deduplicate identical (speedup, error) pairs while preserving one witness.
+    seen: set[tuple[float, float]] = set()
+    unique: list[T] = []
+    for point in sorted(front, key=lambda p: (speedup_of(p), error_of(p))):
+        key = (round(speedup_of(point), 12), round(error_of(point), 12))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(point)
+    return unique
+
+
+def is_pareto_optimal(
+    point: T,
+    points: Sequence[T],
+    error_of: Callable[[T], float] = _default_error,
+    speedup_of: Callable[[T], float] = _default_speedup,
+) -> bool:
+    """Whether ``point`` is on the Pareto front of ``points``."""
+    return not any(
+        dominates(other, point, error_of, speedup_of)
+        for other in points
+        if other is not point
+    )
+
+
+def hypervolume_2d(
+    points: Sequence[T],
+    error_of: Callable[[T], float] = _default_error,
+    speedup_of: Callable[[T], float] = _default_speedup,
+    reference_speedup: float = 1.0,
+    reference_error: float = 0.10,
+) -> float:
+    """Area dominated by the Pareto front, relative to a reference point.
+
+    A simple scalar summary used by the ablation benchmarks to compare
+    whole fronts (ours vs. Paraprox): larger is better.  The reference
+    point defaults to the accurate configuration (speedup 1x) at the 10%
+    error budget used by prior work.
+    """
+    front = pareto_front(points, error_of, speedup_of)
+    if not front:
+        return 0.0
+    area = 0.0
+    previous_error = reference_error
+    for point in sorted(front, key=speedup_of, reverse=True):
+        speedup = speedup_of(point)
+        error = error_of(point)
+        if speedup <= reference_speedup or error >= previous_error:
+            continue
+        area += (speedup - reference_speedup) * (previous_error - error)
+        previous_error = error
+    return area

@@ -1,0 +1,186 @@
+"""The perforation pipeline: evaluate an application under a configuration.
+
+This module implements Figure 1b of the paper as a reusable harness: the
+input is perforated and reconstructed (through the application's
+approximate execution path), the kernel output is compared against the
+accurate reference to obtain the error, and the analytical timing model
+supplies the runtime of both versions to obtain the speedup.
+
+Applications are duck-typed; :class:`repro.apps.base.Application` provides
+the expected interface (``reference``, ``approximate``, ``profile``,
+``global_size``, ``error_metric``, ``baseline_work_group``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..clsim.device import Device, firepro_w5100
+from ..clsim.ndrange import NDRange
+from ..clsim.timing import TimingBreakdown, TimingModel
+from .config import ACCURATE_CONFIG, ApproximationConfig
+from .errors import ConfigurationError
+from .quality import ErrorSummary, compute_error
+
+
+@dataclass(frozen=True)
+class ConfigurationResult:
+    """Error and modelled performance of one (application, configuration) pair."""
+
+    app_name: str
+    config: ApproximationConfig
+    error: float
+    baseline_time_s: float
+    approx_time_s: float
+    baseline_timing: TimingBreakdown
+    approx_timing: TimingBreakdown
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of the approximate kernel over the accurate baseline."""
+        return self.baseline_time_s / self.approx_time_s
+
+    @property
+    def runtime_ms(self) -> float:
+        """Modelled runtime of the approximate kernel in milliseconds."""
+        return self.approx_time_s * 1e3
+
+    def describe(self) -> str:
+        return (
+            f"{self.app_name:<10s} {self.config.label:<14s} "
+            f"error={self.error * 100:6.2f}%  speedup={self.speedup:5.2f}x  "
+            f"runtime={self.runtime_ms:7.3f} ms"
+        )
+
+
+@dataclass(frozen=True)
+class DatasetResult:
+    """Error distribution of one configuration over a dataset (Figure 6)."""
+
+    app_name: str
+    config: ApproximationConfig
+    errors: tuple[float, ...]
+    summary: ErrorSummary
+    speedup: float
+    baseline_time_s: float
+    approx_time_s: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.app_name:<10s} {self.config.label:<14s} "
+            f"median err={self.summary.median * 100:6.2f}%  "
+            f"mean err={self.summary.mean * 100:6.2f}%  "
+            f"p75={self.summary.p75 * 100:6.2f}%  max={self.summary.maximum * 100:6.2f}%  "
+            f"speedup={self.speedup:5.2f}x"
+        )
+
+
+def timing_for(
+    app, config: ApproximationConfig, inputs, device: Device | None = None
+) -> TimingBreakdown:
+    """Modelled runtime of ``app`` under ``config`` for the given inputs."""
+    device = device or firepro_w5100()
+    model = TimingModel(device)
+    profile, ndrange = app.profile(config, app.global_size(inputs))
+    return model.estimate(profile, ndrange)
+
+
+def baseline_config_for(app) -> ApproximationConfig:
+    """The accurate configuration the speedups are measured against."""
+    return ACCURATE_CONFIG.with_work_group(app.baseline_work_group)
+
+
+def evaluate_configuration(
+    app,
+    inputs,
+    config: ApproximationConfig,
+    device: Device | None = None,
+    reference: np.ndarray | None = None,
+) -> ConfigurationResult:
+    """Run the full pipeline of Figure 1b for one input and configuration.
+
+    ``reference`` may be supplied to avoid recomputing the accurate output
+    when sweeping many configurations over the same input.
+    """
+    device = device or firepro_w5100()
+    config.validate_for_halo(app.halo)
+    model = TimingModel(device)
+
+    if reference is None:
+        reference = app.reference(inputs)
+    approximate = app.approximate(inputs, config)
+    error = compute_error(reference, approximate, app.error_metric)
+
+    global_size = app.global_size(inputs)
+    base_profile, base_nd = app.profile(baseline_config_for(app), global_size)
+    approx_profile, approx_nd = app.profile(config, global_size)
+    baseline_timing = model.estimate(base_profile, base_nd)
+    approx_timing = model.estimate(approx_profile, approx_nd)
+
+    return ConfigurationResult(
+        app_name=app.name,
+        config=config,
+        error=error,
+        baseline_time_s=baseline_timing.total_time_s,
+        approx_time_s=approx_timing.total_time_s,
+        baseline_timing=baseline_timing,
+        approx_timing=approx_timing,
+    )
+
+
+def evaluate_dataset(
+    app,
+    dataset: Sequence,
+    config: ApproximationConfig,
+    device: Device | None = None,
+) -> DatasetResult:
+    """Evaluate one configuration over a whole dataset.
+
+    The error is computed per input; the speedup is computed once (it
+    depends only on the configuration, as the paper notes in Section 6.2).
+    """
+    if not dataset:
+        raise ConfigurationError("dataset must contain at least one input")
+    device = device or firepro_w5100()
+    errors: list[float] = []
+    for inputs in dataset:
+        reference = app.reference(inputs)
+        approximate = app.approximate(inputs, config)
+        errors.append(compute_error(reference, approximate, app.error_metric))
+
+    model = TimingModel(device)
+    global_size = app.global_size(dataset[0])
+    base_profile, base_nd = app.profile(baseline_config_for(app), global_size)
+    approx_profile, approx_nd = app.profile(config, global_size)
+    baseline_time = model.estimate(base_profile, base_nd).total_time_s
+    approx_time = model.estimate(approx_profile, approx_nd).total_time_s
+
+    return DatasetResult(
+        app_name=app.name,
+        config=config,
+        errors=tuple(errors),
+        summary=ErrorSummary.from_errors(errors),
+        speedup=baseline_time / approx_time,
+        baseline_time_s=baseline_time,
+        approx_time_s=approx_time,
+    )
+
+
+def evaluate_many(
+    app,
+    inputs,
+    configs: Iterable[ApproximationConfig],
+    device: Device | None = None,
+) -> list[ConfigurationResult]:
+    """Evaluate several configurations on the same input (shared reference)."""
+    device = device or firepro_w5100()
+    reference = app.reference(inputs)
+    results = []
+    for config in configs:
+        results.append(
+            evaluate_configuration(app, inputs, config, device=device, reference=reference)
+        )
+    return results

@@ -1,0 +1,181 @@
+"""Quality-aware runtime.
+
+The paper's conclusion sketches a library that "can automatically apply and
+tune the technique to approximable kernels" — the same role the runtime
+helper plays in Paraprox: given a target output quality, pick the kernel
+variant that meets it at the highest speedup.  :class:`QualityAwareRuntime`
+implements that loop on top of the tuning machinery:
+
+1. *calibrate* on a (small) set of representative inputs, measuring the
+   error of every candidate configuration and the modelled runtime;
+2. *select* the fastest configuration whose calibrated error (plus a safety
+   margin) stays within the user's error budget;
+3. *execute* new inputs with the selected configuration, optionally
+   monitoring the achieved quality and falling back to a more accurate
+   configuration when the budget is violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..clsim.device import Device, firepro_w5100
+from .config import ACCURATE_CONFIG, ApproximationConfig, default_configurations
+from .errors import TuningError
+from .pipeline import evaluate_configuration
+from .quality import compute_error
+from .tuning import SweepPoint, SweepResult, sweep_configurations
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """Calibrated statistics of one configuration."""
+
+    config: ApproximationConfig
+    mean_error: float
+    max_error: float
+    speedup: float
+
+    def admissible(self, budget: float, safety_margin: float) -> bool:
+        """Whether this configuration is expected to meet ``budget``."""
+        return self.mean_error * (1.0 + safety_margin) <= budget
+
+
+@dataclass
+class ExecutionRecord:
+    """Outcome of one monitored execution."""
+
+    config: ApproximationConfig
+    error: float | None
+    within_budget: bool
+    output: np.ndarray
+
+
+class QualityAwareRuntime:
+    """Selects and applies perforation configurations under an error budget."""
+
+    def __init__(
+        self,
+        app,
+        error_budget: float,
+        device: Device | None = None,
+        safety_margin: float = 0.25,
+        configs: Iterable[ApproximationConfig] | None = None,
+    ) -> None:
+        if error_budget <= 0:
+            raise TuningError("error budget must be positive")
+        self.app = app
+        self.error_budget = error_budget
+        self.device = device or firepro_w5100()
+        self.safety_margin = safety_margin
+        self.configs = list(configs) if configs is not None else default_configurations(app.halo)
+        self.calibration: list[CalibrationEntry] = []
+        self.selected: ApproximationConfig = ACCURATE_CONFIG
+        self.history: list[ExecutionRecord] = []
+
+    # ------------------------------------------------------------------
+    def calibrate(self, calibration_inputs: Sequence) -> list[CalibrationEntry]:
+        """Measure error/speedup of every candidate on the calibration inputs."""
+        if not calibration_inputs:
+            raise TuningError("calibration requires at least one input")
+        per_config: dict[str, list[SweepPoint]] = {}
+        for inputs in calibration_inputs:
+            sweep: SweepResult = sweep_configurations(
+                self.app, inputs, self.configs, device=self.device
+            )
+            for point in sweep.points:
+                per_config.setdefault(point.config.label, []).append(point)
+
+        self.calibration = []
+        for label, points in per_config.items():
+            errors = [p.error for p in points]
+            self.calibration.append(
+                CalibrationEntry(
+                    config=points[0].config,
+                    mean_error=float(np.mean(errors)),
+                    max_error=float(np.max(errors)),
+                    speedup=points[0].speedup,
+                )
+            )
+        self.calibration.sort(key=lambda e: e.speedup, reverse=True)
+        self.selected = self.select()
+        return self.calibration
+
+    def select(self) -> ApproximationConfig:
+        """Fastest calibrated configuration expected to meet the budget.
+
+        Falls back to the accurate configuration when nothing qualifies.
+        """
+        if not self.calibration:
+            raise TuningError("calibrate() must be called before select()")
+        for entry in self.calibration:  # sorted fastest-first
+            if entry.admissible(self.error_budget, self.safety_margin):
+                return entry.config
+        return ACCURATE_CONFIG
+
+    # ------------------------------------------------------------------
+    def execute(self, inputs, monitor: bool = False) -> ExecutionRecord:
+        """Run the application on ``inputs`` with the selected configuration.
+
+        With ``monitor=True`` the accurate output is also computed, the
+        achieved error recorded, and the configuration demoted to a more
+        accurate one when the budget was violated (mirroring the
+        recalibration loop of quality-aware runtimes such as SAGE).
+        """
+        config = self.selected
+        if config.is_accurate:
+            output = self.app.reference(inputs)
+            record = ExecutionRecord(config=config, error=0.0, within_budget=True, output=output)
+            self.history.append(record)
+            return record
+
+        output = self.app.approximate(inputs, config)
+        error = None
+        within = True
+        if monitor:
+            reference = self.app.reference(inputs)
+            error = compute_error(reference, output, self.app.error_metric)
+            within = error <= self.error_budget
+            if not within:
+                self._demote(config)
+        record = ExecutionRecord(config=config, error=error, within_budget=within, output=output)
+        self.history.append(record)
+        return record
+
+    def _demote(self, config: ApproximationConfig) -> None:
+        """Switch to the next more accurate calibrated configuration."""
+        more_accurate = [
+            entry
+            for entry in sorted(self.calibration, key=lambda e: e.mean_error)
+            if entry.config.label != config.label
+        ]
+        for entry in more_accurate:
+            if entry.mean_error < self._calibrated_error(config):
+                self.selected = entry.config
+                return
+        self.selected = ACCURATE_CONFIG
+
+    def _calibrated_error(self, config: ApproximationConfig) -> float:
+        for entry in self.calibration:
+            if entry.config.label == config.label:
+                return entry.mean_error
+        return float("inf")
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable calibration + selection summary."""
+        lines = [
+            f"Quality-aware runtime for {self.app.name!r} "
+            f"(budget {self.error_budget:.2%}, margin {self.safety_margin:.0%})"
+        ]
+        for entry in self.calibration:
+            marker = "*" if entry.config.label == self.selected.label else " "
+            lines.append(
+                f" {marker} {entry.config.label:<14s} mean err {entry.mean_error * 100:6.2f}%  "
+                f"max err {entry.max_error * 100:6.2f}%  speedup {entry.speedup:5.2f}x"
+            )
+        lines.append(f"selected: {self.selected.label}")
+        return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Parameter exploration: schemes, reconstruction techniques, work-group sizes.
+
+Section 6.3 of the paper explores two parameter axes — the perforation
+scheme / reconstruction technique (Figure 8) and the local work-group size
+(Figure 9) — and Section 6.4 collects the Pareto-optimal configurations
+(Figure 10).  This module provides the sweep machinery behind those
+experiments and is also the backend of the quality-aware runtime
+(:mod:`repro.core.runtime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..clsim.device import Device, firepro_w5100
+from .config import (
+    ACCURATE_CONFIG,
+    ApproximationConfig,
+    WORK_GROUP_CANDIDATES,
+    default_configurations,
+)
+from .errors import TuningError
+from .pareto import pareto_front
+from .pipeline import ConfigurationResult, evaluate_configuration, timing_for
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration within a sweep."""
+
+    config: ApproximationConfig
+    error: float
+    speedup: float
+    runtime_s: float
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    def describe(self) -> str:
+        return (
+            f"{self.label:<14s} wg={self.config.work_group!s:<9s} "
+            f"error={self.error * 100:6.2f}%  speedup={self.speedup:5.2f}x"
+        )
+
+
+@dataclass
+class SweepResult:
+    """All points of one parameter sweep for one application."""
+
+    app_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def pareto_optimal(self) -> list[SweepPoint]:
+        """Pareto-optimal subset (maximise speedup, minimise error)."""
+        return pareto_front(self.points)
+
+    def best_for_error_budget(self, budget: float) -> SweepPoint:
+        """Fastest configuration whose error stays within ``budget``."""
+        admissible = [p for p in self.points if p.error <= budget]
+        if not admissible:
+            raise TuningError(
+                f"no configuration of {self.app_name!r} meets the error budget "
+                f"{budget:.2%} (best achievable is {min(p.error for p in self.points):.2%})"
+            )
+        return max(admissible, key=lambda p: p.speedup)
+
+    def best_error(self) -> SweepPoint:
+        """The most accurate configuration."""
+        if not self.points:
+            raise TuningError("sweep produced no points")
+        return min(self.points, key=lambda p: p.error)
+
+    def fastest(self) -> SweepPoint:
+        """The fastest configuration."""
+        if not self.points:
+            raise TuningError("sweep produced no points")
+        return max(self.points, key=lambda p: p.speedup)
+
+
+def sweep_configurations(
+    app,
+    inputs,
+    configs: Iterable[ApproximationConfig] | None = None,
+    device: Device | None = None,
+) -> SweepResult:
+    """Evaluate a set of configurations (default: the paper's four) on one input."""
+    device = device or firepro_w5100()
+    if configs is None:
+        configs = default_configurations(app.halo)
+    result = SweepResult(app_name=app.name)
+    reference = app.reference(inputs)
+    for config in configs:
+        evaluation = evaluate_configuration(
+            app, inputs, config, device=device, reference=reference
+        )
+        result.points.append(
+            SweepPoint(
+                config=config,
+                error=evaluation.error,
+                speedup=evaluation.speedup,
+                runtime_s=evaluation.approx_time_s,
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class WorkGroupTiming:
+    """Modelled runtime of one kernel variant for one work-group shape."""
+
+    work_group: tuple[int, int]
+    variant: str
+    runtime_s: float
+
+
+def sweep_work_groups(
+    app,
+    inputs,
+    configs: Sequence[ApproximationConfig],
+    work_groups: Sequence[tuple[int, int]] = WORK_GROUP_CANDIDATES,
+    device: Device | None = None,
+    include_baseline: bool = True,
+) -> list[WorkGroupTiming]:
+    """Runtime of each configuration for each work-group shape (Figure 9).
+
+    Only the timing model is involved — the error does not depend on the
+    work-group shape for row schemes, and only marginally for the stencil
+    scheme, so the functional path is not re-run.
+    """
+    device = device or firepro_w5100()
+    results: list[WorkGroupTiming] = []
+    variants: list[tuple[str, ApproximationConfig]] = []
+    if include_baseline:
+        variants.append(("Baseline", ACCURATE_CONFIG))
+    variants.extend((c.label, c) for c in configs)
+
+    width, height = app.global_size(inputs)
+    for label, config in variants:
+        for work_group in work_groups:
+            wx, wy = work_group
+            if width % wx != 0 or height % wy != 0:
+                continue
+            if wx * wy > device.max_work_group_size:
+                continue
+            if config.scheme.requires_halo() and app.halo == 0:
+                continue
+            shaped = config.with_work_group(work_group)
+            timing = timing_for(app, shaped, inputs, device=device)
+            results.append(
+                WorkGroupTiming(
+                    work_group=work_group, variant=label, runtime_s=timing.total_time_s
+                )
+            )
+    return results
+
+
+def best_work_group(
+    app,
+    inputs,
+    config: ApproximationConfig,
+    work_groups: Sequence[tuple[int, int]] = WORK_GROUP_CANDIDATES,
+    device: Device | None = None,
+) -> tuple[int, int]:
+    """Work-group shape minimising the modelled runtime of ``config``.
+
+    The paper's observation (Section 6.3) is that this optimum differs
+    between the accurate baseline and the approximate kernels.
+    """
+    timings = sweep_work_groups(
+        app, inputs, [config], work_groups, device=device, include_baseline=False
+    )
+    if not timings:
+        raise TuningError(
+            f"no admissible work-group shape for {app.name!r} with {config.label}"
+        )
+    best = min(timings, key=lambda t: t.runtime_s)
+    return best.work_group
+
+
+def full_sweep(
+    app,
+    inputs,
+    configs: Iterable[ApproximationConfig] | None = None,
+    work_groups: Sequence[tuple[int, int]] = WORK_GROUP_CANDIDATES,
+    device: Device | None = None,
+) -> SweepResult:
+    """Sweep configurations *and* work-group shapes jointly.
+
+    This is the search space the paper's envisioned auto-tuning library
+    would explore; the quality-aware runtime uses it for calibration.
+    """
+    device = device or firepro_w5100()
+    if configs is None:
+        configs = default_configurations(app.halo)
+    expanded: list[ApproximationConfig] = []
+    width, height = app.global_size(inputs)
+    for config in configs:
+        for work_group in work_groups:
+            wx, wy = work_group
+            if width % wx != 0 or height % wy != 0:
+                continue
+            if wx * wy > device.max_work_group_size:
+                continue
+            expanded.append(config.with_work_group(work_group))
+    return sweep_configurations(app, inputs, expanded, device=device)

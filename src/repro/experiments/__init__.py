@@ -1,0 +1,38 @@
+"""``repro.experiments`` — one harness per table/figure of the paper.
+
+Modules: :mod:`table1`, :mod:`figure6`, :mod:`figure7`, :mod:`figure8`,
+:mod:`figure9`, :mod:`figure10` and :mod:`headline`; :mod:`report` bundles
+them, and ``python -m repro.experiments`` is the command-line entry point.
+"""
+
+from . import figure6, figure7, figure8, figure9, figure10, headline, table1
+from .common import (
+    ExperimentSettings,
+    FIGURE6_CONFIGS,
+    PAPER_IMAGE_COUNT,
+    PAPER_IMAGE_SIZE,
+    PARAMETRIZATION_APPS,
+    format_table,
+)
+from .report import available_experiments, run_all, run_experiment, write_report
+
+__all__ = [
+    "ExperimentSettings",
+    "FIGURE6_CONFIGS",
+    "PAPER_IMAGE_COUNT",
+    "PAPER_IMAGE_SIZE",
+    "PARAMETRIZATION_APPS",
+    "available_experiments",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "format_table",
+    "headline",
+    "run_all",
+    "run_experiment",
+    "run_experiment",
+    "table1",
+    "write_report",
+]

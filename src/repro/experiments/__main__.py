@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Examples
+--------
+Run one experiment at paper scale::
+
+    python -m repro.experiments figure8
+
+Run everything quickly (small inputs, for smoke testing)::
+
+    python -m repro.experiments all --quick
+
+Write a full Markdown report::
+
+    python -m repro.experiments all --output report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import available_experiments, run_all, run_experiment, write_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the paper's evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=available_experiments() + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use small inputs (fast smoke-test mode)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write a Markdown report to this path instead of printing",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        if args.output:
+            path = write_report(args.output, quick=args.quick)
+            print(f"report written to {path}")
+        else:
+            print(run_all(quick=args.quick))
+        return 0
+    print(run_experiment(args.experiment, quick=args.quick))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

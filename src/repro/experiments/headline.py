@@ -1,0 +1,49 @@
+"""Headline claim — "1.6x to 3x speedup at ~6% average error".
+
+Sections 1 and 7 of the paper summarise the evaluation as accelerating the
+six applications by 1.6x-3x while introducing an average error of 6%.
+This experiment aggregates the per-application Figure 6 results into that
+single headline row so the claim can be checked at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExperimentSettings, format_table, percent, times
+from .figure6 import FIGURE6_APPS, Figure6Result, run as run_figure6
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """Aggregate over the per-application results."""
+
+    figure6: Figure6Result
+    min_speedup: float
+    max_speedup: float
+    mean_error: float
+    settings: ExperimentSettings
+
+
+def run(quick: bool = False, image_size: int | None = None, image_count: int | None = None) -> HeadlineResult:
+    """Run the headline aggregation (reuses the Figure 6 harness)."""
+    figure6 = run_figure6(quick=quick, image_size=image_size, image_count=image_count)
+    speedups = [r.speedup for r in figure6.per_app.values()]
+    errors = [r.summary.mean for r in figure6.per_app.values()]
+    return HeadlineResult(
+        figure6=figure6,
+        min_speedup=min(speedups),
+        max_speedup=max(speedups),
+        mean_error=sum(errors) / len(errors),
+        settings=figure6.settings,
+    )
+
+
+def render(result: HeadlineResult) -> str:
+    headers = ["Quantity", "Measured", "Paper"]
+    rows = [
+        ["speedup range", f"{times(result.min_speedup)} - {times(result.max_speedup)}", "1.6x - 3x"],
+        ["average error", percent(result.mean_error), "~6%"],
+        ["applications", str(len(result.figure6.per_app)), str(len(FIGURE6_APPS))],
+    ]
+    return "Headline claim (Sections 1 and 7)\n" + format_table(headers, rows)

@@ -1,0 +1,72 @@
+"""``repro.kernellang`` — a small OpenCL C kernel language and compiler.
+
+The package provides the front end (lexer, parser, type checker), an AST
+interpreter that executes kernels on the :mod:`repro.clsim` simulator, a
+code generator that emits OpenCL C, static analyses (stencil access
+patterns, data reuse, traffic/operation counting) and the compiler passes
+that implement the paper's transformation: local-memory prefetch,
+perforation and reconstruction.
+"""
+
+from . import ast
+from .builtins import builtin_names, get_builtin, is_builtin
+from .codegen import CodeGenerator, generate
+from .errors import (
+    AnalysisError,
+    InterpreterError,
+    KernelLangError,
+    LexError,
+    ParseError,
+    SymbolError,
+    TransformError,
+    TypeError_,
+)
+from .interpreter import KernelInterpreter, compile_kernel
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_kernel, parse_program
+from .typecheck import CheckResult, TypeChecker, check_program
+from .types import (
+    AddressSpace,
+    ArrayType,
+    FLOAT,
+    INT,
+    PointerType,
+    ScalarType,
+    Type,
+    VOID,
+)
+
+__all__ = [
+    "AddressSpace",
+    "AnalysisError",
+    "ArrayType",
+    "CheckResult",
+    "CodeGenerator",
+    "FLOAT",
+    "INT",
+    "InterpreterError",
+    "KernelInterpreter",
+    "KernelLangError",
+    "LexError",
+    "Lexer",
+    "ParseError",
+    "Parser",
+    "PointerType",
+    "ScalarType",
+    "SymbolError",
+    "TransformError",
+    "Type",
+    "TypeChecker",
+    "TypeError_",
+    "VOID",
+    "ast",
+    "builtin_names",
+    "check_program",
+    "compile_kernel",
+    "generate",
+    "get_builtin",
+    "is_builtin",
+    "parse_kernel",
+    "parse_program",
+    "tokenize",
+]

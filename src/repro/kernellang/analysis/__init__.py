@@ -1,0 +1,30 @@
+"""Static analyses over kernel ASTs: access patterns, reuse and traffic."""
+
+from .access_patterns import (
+    AccessPatternInfo,
+    BufferAccessSummary,
+    LinearForm,
+    StencilAccess,
+    analyze_kernel,
+)
+from .reuse import ReuseInfo, reuse_info
+from .traffic import (
+    OperationCounts,
+    build_profile,
+    count_operations,
+    local_tile_bytes,
+)
+
+__all__ = [
+    "AccessPatternInfo",
+    "BufferAccessSummary",
+    "LinearForm",
+    "OperationCounts",
+    "ReuseInfo",
+    "StencilAccess",
+    "analyze_kernel",
+    "build_profile",
+    "count_operations",
+    "local_tile_bytes",
+    "reuse_info",
+]

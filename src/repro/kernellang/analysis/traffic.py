@@ -1,0 +1,308 @@
+"""Static traffic/operation analysis: build timing profiles from kernel ASTs.
+
+The analytical timing model in :mod:`repro.clsim.timing` consumes
+:class:`~repro.clsim.timing.KernelProfile` objects.  The benchmark
+applications construct those by hand (they know their own structure), but
+for kernels written or generated in the kernel language this module derives
+a profile automatically from the AST:
+
+* arithmetic operations per work-item (with constant-trip-count loops
+  expanded, branches averaged);
+* global reads/writes per work-item and their stencil footprint (via the
+  access-pattern analysis), converted into per-work-group DRAM traffic;
+* local-memory accesses and the local tile allocation per work group;
+* barriers per work group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ... import clsim
+from ...clsim.ndrange import NDRange
+from ...clsim.timing import GlobalTraffic, KernelProfile, tile_traffic
+from .. import ast
+from ..builtins import get_builtin, is_builtin
+from ..errors import AnalysisError
+from ..types import PointerType
+from .access_patterns import (
+    AccessPatternInfo,
+    _constant_loop_values,
+    analyze_kernel,
+)
+
+
+@dataclass
+class OperationCounts:
+    """Per-work-item operation counts gathered by :class:`_OpCounter`."""
+
+    flops: float = 0.0
+    int_ops: float = 0.0
+    sfu_ops: float = 0.0
+    global_reads: float = 0.0
+    global_writes: float = 0.0
+    local_reads: float = 0.0
+    local_writes: float = 0.0
+    private_accesses: float = 0.0
+    barriers: float = 0.0
+
+
+class _OpCounter:
+    """Walks a kernel body counting operations, weighting loop bodies by their
+    trip count and branches by 0.5 each (a coarse but serviceable expectation)."""
+
+    def __init__(self, kernel: ast.FunctionDef) -> None:
+        self.kernel = kernel
+        self.global_params = {
+            p.name
+            for p in kernel.params
+            if isinstance(p.param_type, PointerType)
+            and p.param_type.address_space == "global"
+        }
+        self.local_names: set[str] = set()
+        self.private_arrays: set[str] = set()
+        self.counts = OperationCounts()
+
+    # ------------------------------------------------------------------
+    def run(self) -> OperationCounts:
+        self._count_block(self.kernel.body, weight=1.0)
+        return self.counts
+
+    def _count_block(self, block: ast.Block, weight: float) -> None:
+        for stmt in block.statements:
+            self._count_stmt(stmt, weight)
+
+    def _count_stmt(self, stmt: ast.Stmt, weight: float) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarations:
+                if decl.address_space == "local":
+                    self.local_names.add(decl.name)
+                elif decl.array_size is not None:
+                    self.private_arrays.add(decl.name)
+                if decl.init is not None:
+                    self._count_expr(decl.init, weight)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call) and stmt.expr.name == "barrier":
+                self.counts.barriers += 1
+                return
+            self._count_expr(stmt.expr, weight)
+        elif isinstance(stmt, ast.Block):
+            self._count_block(stmt, weight)
+        elif isinstance(stmt, ast.IfStmt):
+            self._count_expr(stmt.condition, weight)
+            self._count_block(stmt.then_body, weight * 0.5)
+            if stmt.else_body is not None:
+                self._count_block(stmt.else_body, weight * 0.5)
+        elif isinstance(stmt, ast.ForStmt):
+            loop = _constant_loop_values(stmt)
+            trip = len(loop.values) if loop is not None else 8.0
+            if stmt.init is not None:
+                self._count_stmt(stmt.init, weight)
+            if stmt.condition is not None:
+                self._count_expr(stmt.condition, weight * trip)
+            if stmt.step is not None:
+                self._count_expr(stmt.step, weight * trip)
+            self._count_block(stmt.body, weight * trip)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            trip = 8.0
+            self._count_expr(stmt.condition, weight * trip)
+            self._count_block(stmt.body, weight * trip)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._count_expr(stmt.value, weight)
+
+    # ------------------------------------------------------------------
+    def _count_expr(self, expr: ast.Expr, weight: float) -> None:
+        if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral, ast.BoolLiteral, ast.Identifier)):
+            return
+        if isinstance(expr, ast.UnaryOp):
+            self.counts.int_ops += weight
+            self._count_expr(expr.operand, weight)
+            return
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in ("+", "-", "*", "/", "%"):
+                self.counts.flops += weight
+            else:
+                self.counts.int_ops += weight
+            self._count_expr(expr.left, weight)
+            self._count_expr(expr.right, weight)
+            return
+        if isinstance(expr, ast.Assignment):
+            self._count_target(expr.target, weight, is_store=True)
+            self._count_expr(expr.value, weight)
+            if expr.op != "=":
+                self.counts.flops += weight
+            return
+        if isinstance(expr, ast.Ternary):
+            self.counts.int_ops += weight
+            self._count_expr(expr.condition, weight)
+            self._count_expr(expr.if_true, weight * 0.5)
+            self._count_expr(expr.if_false, weight * 0.5)
+            return
+        if isinstance(expr, ast.Call):
+            if is_builtin(expr.name):
+                builtin = get_builtin(expr.name)
+                if builtin.is_sfu:
+                    self.counts.sfu_ops += weight
+                else:
+                    self.counts.flops += weight * builtin.op_cost
+            for arg in expr.args:
+                self._count_expr(arg, weight)
+            return
+        if isinstance(expr, ast.Index):
+            self._count_target(expr, weight, is_store=False)
+            self._count_expr(expr.index, weight)
+            return
+        if isinstance(expr, ast.Cast):
+            self._count_expr(expr.expr, weight)
+            return
+        if isinstance(expr, ast.InitList):
+            for value in expr.values:
+                self._count_expr(value, weight)
+            return
+
+    def _count_target(self, expr: ast.Expr, weight: float, is_store: bool) -> None:
+        if not isinstance(expr, ast.Index):
+            return
+        base = expr.base
+        if not isinstance(base, ast.Identifier):
+            return
+        name = base.name
+        if name in self.global_params:
+            if is_store:
+                self.counts.global_writes += weight
+            else:
+                self.counts.global_reads += weight
+        elif name in self.local_names:
+            if is_store:
+                self.counts.local_writes += weight
+            else:
+                self.counts.local_reads += weight
+        elif name in self.private_arrays:
+            self.counts.private_accesses += weight
+        if is_store:
+            self._count_expr(expr.index, weight)
+
+
+def count_operations(kernel: ast.FunctionDef) -> OperationCounts:
+    """Count the per-work-item operations of ``kernel``."""
+    return _OpCounter(kernel).run()
+
+
+def local_tile_bytes(kernel: ast.FunctionDef, element_bytes: int = 4) -> float:
+    """Total ``__local`` allocation of the kernel per work group, in bytes.
+
+    Array sizes must be constant expressions (which holds for the kernels
+    the transforms generate: tile sizes are specialised literals).
+    """
+    total = 0.0
+    for node in kernel.body.walk():
+        if isinstance(node, ast.VarDecl) and node.address_space == "local":
+            if node.array_size is None:
+                total += element_bytes
+                continue
+            total += _const_eval(node.array_size) * element_bytes
+    return total
+
+
+def _const_eval(expr: ast.Expr) -> float:
+    if isinstance(expr, ast.IntLiteral):
+        return float(expr.value)
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        return -_const_eval(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        ops = {"+": left + right, "-": left - right, "*": left * right}
+        if expr.op in ops:
+            return ops[expr.op]
+        if expr.op == "/" and right != 0:
+            return left / right
+    raise AnalysisError("local array sizes must be constant expressions")
+
+
+def build_profile(
+    kernel: ast.FunctionDef,
+    ndrange: NDRange,
+    element_bytes: int = 4,
+    pattern_info: AccessPatternInfo | None = None,
+    rows_loaded_fraction: float = 1.0,
+    include_halo: bool = True,
+) -> KernelProfile:
+    """Build a :class:`~repro.clsim.timing.KernelProfile` from a kernel AST.
+
+    ``rows_loaded_fraction`` and ``include_halo`` let the perforation passes
+    describe the effect of their schemes on DRAM traffic without re-running
+    the analysis on the transformed kernel (whose prefetch loops have
+    data-dependent structure).
+    """
+    counts = count_operations(kernel)
+    tile_x, tile_y = (ndrange.local_size + (1, 1))[:2]
+
+    traffic: list[GlobalTraffic] = []
+    info = pattern_info
+    if info is None:
+        try:
+            info = analyze_kernel(kernel)
+        except AnalysisError:
+            info = None
+
+    if info is not None and info.input_buffers:
+        for name, summary in info.input_buffers.items():
+            halo = summary.halo if include_halo else 0
+            if counts.local_writes > 0 or info.uses_local_memory:
+                traffic.append(
+                    tile_traffic(
+                        name,
+                        tile_x,
+                        tile_y,
+                        halo=summary.halo,
+                        element_bytes=element_bytes,
+                        rows_loaded_fraction=rows_loaded_fraction,
+                        include_halo=include_halo,
+                    )
+                )
+            else:
+                traffic.append(
+                    clsim.per_item_traffic(
+                        name,
+                        tile_x,
+                        tile_y,
+                        elements_per_item=max(1, len(summary.offsets)),
+                        halo=halo,
+                        element_bytes=element_bytes,
+                    )
+                )
+        for name in info.output_buffers:
+            traffic.append(
+                tile_traffic(
+                    name, tile_x, tile_y, halo=0, element_bytes=element_bytes, is_store=True
+                )
+            )
+    else:
+        # Fall back to raw per-item counts with ideal coalescing.
+        if counts.global_reads:
+            traffic.append(
+                tile_traffic("reads", tile_x, tile_y, element_bytes=element_bytes)
+            )
+        if counts.global_writes:
+            traffic.append(
+                tile_traffic(
+                    "writes", tile_x, tile_y, element_bytes=element_bytes, is_store=True
+                )
+            )
+
+    return KernelProfile(
+        name=kernel.name,
+        traffic=tuple(traffic),
+        flops_per_item=counts.flops,
+        int_ops_per_item=counts.int_ops,
+        sfu_ops_per_item=counts.sfu_ops,
+        private_accesses_per_item=counts.private_accesses,
+        local_reads_per_item=counts.local_reads,
+        local_writes_per_item=counts.local_writes,
+        barriers_per_group=counts.barriers,
+        local_mem_bytes_per_group=local_tile_bytes(kernel, element_bytes),
+    )

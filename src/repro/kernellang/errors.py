@@ -1,0 +1,39 @@
+"""Exceptions raised by the kernel-language front end and compiler passes."""
+
+from __future__ import annotations
+
+
+class KernelLangError(Exception):
+    """Base class for all kernel-language errors."""
+
+
+class LexError(KernelLangError):
+    """Raised by the lexer on malformed input."""
+
+
+class ParseError(KernelLangError):
+    """Raised by the parser on a syntax error."""
+
+
+class TypeError_(KernelLangError):
+    """Raised by the semantic analyser on a type error.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class SymbolError(KernelLangError):
+    """Raised when a name is undefined or redefined in the same scope."""
+
+
+class InterpreterError(KernelLangError):
+    """Raised when the AST interpreter encounters an unsupported construct
+    or a runtime fault (out-of-bounds access, division by zero, ...)."""
+
+
+class TransformError(KernelLangError):
+    """Raised when a compiler pass cannot be applied to a kernel."""
+
+
+class AnalysisError(KernelLangError):
+    """Raised when an analysis cannot interpret the kernel structure."""

@@ -1,0 +1,157 @@
+"""Hand-written lexer for the OpenCL C subset."""
+
+from __future__ import annotations
+
+from .errors import LexError
+from .tokens import KEYWORDS, PUNCTUATORS, SourceLocation, Token, TokenKind
+
+
+class Lexer:
+    """Turns kernel source text into a list of tokens.
+
+    Handles ``//`` and ``/* */`` comments, preprocessor-style lines starting
+    with ``#`` (skipped — the applications do not rely on macros), decimal
+    and hexadecimal integer literals, float literals with optional exponent
+    and ``f`` suffix, identifiers/keywords, and the punctuator set of the
+    subset.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    # ------------------------------------------------------------------
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise LexError(f"unterminated block comment starting at {start}")
+                self._advance(2)
+            elif ch == "#" and self.column == 1:
+                # Preprocessor directive: skip the whole (possibly continued) line.
+                while self.pos < len(self.source):
+                    if self._peek() == "\\" and self._peek(1) == "\n":
+                        self._advance(2)
+                        continue
+                    if self._peek() == "\n":
+                        break
+                    self._advance()
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    def _lex_number(self) -> Token:
+        location = self._location()
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token(TokenKind.INT_LITERAL, self.source[start : self.pos], location)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == ".":
+            is_float = True
+            self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "fF":
+            is_float = True
+            self._advance()
+        elif self._peek() in "uUlL":
+            while self._peek() in "uUlL":
+                self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+        return Token(kind, text, location)
+
+    def _lex_identifier(self) -> Token:
+        location = self._location()
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, location)
+
+    def _lex_punct(self) -> Token:
+        location = self._location()
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, location)
+        raise LexError(
+            f"unexpected character {self._peek()!r} at {location}"
+        )
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        """Lex the whole source, returning tokens terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                break
+            ch = self._peek()
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                tokens.append(self._lex_number())
+            elif ch.isalpha() or ch == "_":
+                tokens.append(self._lex_identifier())
+            else:
+                tokens.append(self._lex_punct())
+        tokens.append(Token(TokenKind.EOF, "", self._location()))
+        return tokens
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

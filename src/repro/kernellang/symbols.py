@@ -1,0 +1,96 @@
+"""Symbol tables and scopes for semantic analysis and interpretation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .errors import SymbolError
+from .types import Type
+
+
+@dataclass
+class Symbol:
+    """A named entity: variable, parameter or constant."""
+
+    name: str
+    sym_type: Type
+    address_space: str = "private"
+    is_const: bool = False
+    is_param: bool = False
+    array_length: Optional[int] = None
+
+
+class Scope:
+    """A single lexical scope."""
+
+    def __init__(self, parent: Optional["Scope"] = None, name: str = "block") -> None:
+        self.parent = parent
+        self.name = name
+        self._symbols: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol) -> Symbol:
+        """Define a symbol in this scope; redefinition is an error."""
+        if symbol.name in self._symbols:
+            raise SymbolError(
+                f"symbol {symbol.name!r} is already defined in scope {self.name!r}"
+            )
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Symbol:
+        """Resolve ``name`` in this scope or an enclosing one."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope._symbols:
+                return scope._symbols[name]
+            scope = scope.parent
+        raise SymbolError(f"undefined symbol {name!r}")
+
+    def is_defined(self, name: str) -> bool:
+        try:
+            self.lookup(name)
+            return True
+        except SymbolError:
+            return False
+
+    def is_defined_locally(self, name: str) -> bool:
+        return name in self._symbols
+
+    def symbols(self) -> Iterator[Symbol]:
+        """Iterate over symbols defined directly in this scope."""
+        return iter(self._symbols.values())
+
+
+class SymbolTable:
+    """A stack of scopes."""
+
+    def __init__(self) -> None:
+        self.global_scope = Scope(name="global")
+        self._stack: list[Scope] = [self.global_scope]
+
+    @property
+    def current(self) -> Scope:
+        return self._stack[-1]
+
+    def push(self, name: str = "block") -> Scope:
+        scope = Scope(parent=self.current, name=name)
+        self._stack.append(scope)
+        return scope
+
+    def pop(self) -> Scope:
+        if len(self._stack) == 1:
+            raise SymbolError("cannot pop the global scope")
+        return self._stack.pop()
+
+    def define(self, symbol: Symbol) -> Symbol:
+        return self.current.define(symbol)
+
+    def lookup(self, name: str) -> Symbol:
+        return self.current.lookup(name)
+
+    def is_defined(self, name: str) -> bool:
+        return self.current.is_defined(name)
+
+    def depth(self) -> int:
+        return len(self._stack)

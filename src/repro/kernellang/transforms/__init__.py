@@ -1,0 +1,31 @@
+"""Kernel transformation passes (local prefetch, perforation, reconstruction)."""
+
+from .local_prefetch import LocalPrefetchPass
+from .pass_manager import (
+    BufferPlan,
+    Pass,
+    PassManager,
+    TransformContext,
+    parse_statements,
+)
+from .perforation import ROW_SCHEME, STENCIL_SCHEME, PerforationPass
+from .reconstruction import (
+    LINEAR_INTERPOLATION,
+    NEAREST_NEIGHBOR,
+    ReconstructionPass,
+)
+
+__all__ = [
+    "BufferPlan",
+    "LINEAR_INTERPOLATION",
+    "LocalPrefetchPass",
+    "NEAREST_NEIGHBOR",
+    "Pass",
+    "PassManager",
+    "PerforationPass",
+    "ROW_SCHEME",
+    "ReconstructionPass",
+    "STENCIL_SCHEME",
+    "TransformContext",
+    "parse_statements",
+]

@@ -1,0 +1,263 @@
+"""Local-memory prefetch pass.
+
+Transforms a kernel that reads a global buffer with a stencil access
+pattern into one that first cooperatively stages the work group's input
+tile (including the stencil halo) into ``__local`` memory, synchronises,
+and then serves all stencil reads from the tile.
+
+This is the standard GPU optimisation the paper builds on; perforation and
+reconstruction are applied on top of the prefetch loop this pass generates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import ast
+from ..analysis.access_patterns import _single_assignment_definitions
+from ..errors import TransformError
+from .pass_manager import BufferPlan, Pass, TransformContext, parse_statements
+
+
+class LocalPrefetchPass(Pass):
+    """Stage the input tile(s) of a kernel in local memory."""
+
+    name = "local-prefetch"
+
+    def __init__(self, buffers: Sequence[str] | None = None, halo: int | None = None) -> None:
+        """
+        Parameters
+        ----------
+        buffers:
+            Names of the global input buffers to stage.  ``None`` selects
+            every buffer the access-pattern analysis found being read.
+        halo:
+            Override for the halo width; defaults to each buffer's analysed
+            stencil halo.
+        """
+        self.buffers = list(buffers) if buffers is not None else None
+        self.halo_override = halo
+
+    # ------------------------------------------------------------------
+    def run(self, context: TransformContext) -> None:
+        info = context.pattern_info
+        targets = self.buffers if self.buffers is not None else sorted(info.input_buffers)
+        if not targets:
+            raise TransformError(
+                f"kernel {context.kernel.name!r} has no global input reads to stage"
+            )
+        prologue: list[ast.Stmt] = []
+        for buffer in targets:
+            if buffer not in info.input_buffers:
+                raise TransformError(
+                    f"kernel {context.kernel.name!r} does not read buffer {buffer!r}"
+                )
+            plan = self._make_plan(context, buffer)
+            context.plans[buffer] = plan
+            prologue.extend(self._prefetch_statements(context, plan))
+            self._rewrite_reads(context, plan)
+        prologue.extend(parse_statements("barrier(CLK_LOCAL_MEM_FENCE);"))
+        context.kernel.body.statements = prologue + context.kernel.body.statements
+
+    # ------------------------------------------------------------------
+    def _make_plan(self, context: TransformContext, buffer: str) -> BufferPlan:
+        summary = context.pattern_info.summary(buffer)
+        halo = self.halo_override if self.halo_override is not None else summary.halo
+        tile_w = context.tile_x + 2 * halo
+        tile_h = context.tile_y + 2 * halo
+        return BufferPlan(
+            buffer=buffer,
+            halo=halo,
+            tile_w=tile_w,
+            tile_h=tile_h,
+            tile_name=f"_kp_{buffer}_tile",
+            lx_name=f"_kp_{buffer}_lx",
+            ly_name=f"_kp_{buffer}_ly",
+        )
+
+    def _prefetch_statements(self, context: TransformContext, plan: BufferPlan) -> list[ast.Stmt]:
+        info = context.pattern_info
+        width = info.width_param
+        height = info.height_param
+        if width is None or height is None:
+            raise TransformError(
+                f"kernel {context.kernel.name!r} needs width/height parameters for prefetching"
+            )
+        lx, ly = plan.lx_name, plan.ly_name
+        tile = plan.tile_name
+        source = f"""
+        __local float {tile}[{plan.tile_h * plan.tile_w}];
+        int {lx} = get_local_id(0);
+        int {ly} = get_local_id(1);
+        for (int _kp_ty = {ly}; _kp_ty < {plan.tile_h}; _kp_ty += {context.tile_y}) {{
+            for (int _kp_tx = {lx}; _kp_tx < {plan.tile_w}; _kp_tx += {context.tile_x}) {{
+                int _kp_gx = get_group_id(0) * {context.tile_x} + _kp_tx - {plan.halo};
+                int _kp_gy = get_group_id(1) * {context.tile_y} + _kp_ty - {plan.halo};
+                _kp_gx = clamp(_kp_gx, 0, {width} - 1);
+                _kp_gy = clamp(_kp_gy, 0, {height} - 1);
+                {tile}[_kp_ty * {plan.tile_w} + _kp_tx] = {plan.buffer}[_kp_gy * {width} + _kp_gx];
+            }}
+        }}
+        """
+        statements = parse_statements(source)
+        # Record the prefetch loop and its innermost load statement so the
+        # perforation pass can find them later.
+        outer_loop = next(s for s in statements if isinstance(s, ast.ForStmt))
+        inner_loop = next(
+            s for s in outer_loop.body.statements if isinstance(s, ast.ForStmt)
+        )
+        plan.prefetch_loop = outer_loop
+        plan.load_statement = inner_loop.body.statements[-1]
+        return statements
+
+    # ------------------------------------------------------------------
+    def _rewrite_reads(self, context: TransformContext, plan: BufferPlan) -> None:
+        info = context.pattern_info
+        definitions = _single_assignment_definitions(context.kernel)
+        rewriter = _ReadRewriter(
+            buffer=plan.buffer,
+            tile_name=plan.tile_name,
+            lx_name=plan.lx_name,
+            ly_name=plan.ly_name,
+            halo=plan.halo,
+            tile_w=plan.tile_w,
+            tile_h=plan.tile_h,
+            x_var=info.x_var,
+            y_var=info.y_var,
+            width_param=info.width_param,
+            height_param=info.height_param,
+            skip_statements={id(plan.load_statement)},
+            definitions=definitions,
+        )
+        rewriter.visit(context.kernel.body)
+        if rewriter.rewritten == 0:
+            raise TransformError(
+                f"prefetch of buffer {plan.buffer!r} did not rewrite any reads"
+            )
+        context.add_note(
+            f"buffer {plan.buffer!r}: staged {plan.tile_w}x{plan.tile_h} tile, "
+            f"rewrote {rewriter.rewritten} reads"
+        )
+
+
+class _IndexSubstituter(ast.NodeTransformer):
+    """Rewrites a cloned index expression from global to tile coordinates."""
+
+    def __init__(
+        self,
+        lx_name: str,
+        ly_name: str,
+        halo: int,
+        tile_w: int,
+        tile_h: int,
+        x_var: str | None,
+        y_var: str | None,
+        width_param: str | None,
+        height_param: str | None,
+    ) -> None:
+        self.lx_name = lx_name
+        self.ly_name = ly_name
+        self.halo = halo
+        self.tile_w = tile_w
+        self.tile_h = tile_h
+        self.x_var = x_var
+        self.y_var = y_var
+        self.width_param = width_param
+        self.height_param = height_param
+
+    def _local_coord(self, local_name: str) -> ast.Expr:
+        return ast.BinaryOp("+", ast.Identifier(local_name), ast.IntLiteral(self.halo))
+
+    def visit_Identifier(self, node: ast.Identifier):
+        if node.name == self.x_var:
+            return self._local_coord(self.lx_name)
+        if node.name == self.y_var:
+            return self._local_coord(self.ly_name)
+        if node.name == self.width_param:
+            return ast.IntLiteral(self.tile_w)
+        if node.name == self.height_param:
+            return ast.IntLiteral(self.tile_h)
+        return node
+
+    def visit_Call(self, node: ast.Call):
+        if node.name == "get_global_id" and node.args:
+            dim = node.args[0]
+            if isinstance(dim, ast.IntLiteral):
+                if dim.value == 0:
+                    return self._local_coord(self.lx_name)
+                if dim.value == 1:
+                    return self._local_coord(self.ly_name)
+        return self.generic_visit(node)
+
+
+class _DefinitionInliner(ast.NodeTransformer):
+    """Inlines single-assignment locals (``int xx = clamp(x + dx, ...)``)
+    into an index expression so the coordinate substitution can see through
+    them."""
+
+    def __init__(self, definitions: dict[str, ast.Expr]) -> None:
+        self.definitions = definitions
+        self._resolving: set[str] = set()
+
+    def visit_Identifier(self, node: ast.Identifier):
+        definition = self.definitions.get(node.name)
+        if definition is None or node.name in self._resolving:
+            return node
+        self._resolving.add(node.name)
+        try:
+            return self.visit(definition.clone())
+        finally:
+            self._resolving.discard(node.name)
+
+
+class _ReadRewriter(ast.NodeTransformer):
+    """Replaces global reads of one buffer with reads of its local tile."""
+
+    def __init__(
+        self,
+        buffer: str,
+        tile_name: str,
+        lx_name: str,
+        ly_name: str,
+        halo: int,
+        tile_w: int,
+        tile_h: int,
+        x_var: str | None,
+        y_var: str | None,
+        width_param: str | None,
+        height_param: str | None,
+        skip_statements: set[int],
+        definitions: dict[str, ast.Expr] | None = None,
+    ) -> None:
+        self.buffer = buffer
+        self.tile_name = tile_name
+        self.substituter = _IndexSubstituter(
+            lx_name, ly_name, halo, tile_w, tile_h, x_var, y_var, width_param, height_param
+        )
+        self.inliner = _DefinitionInliner(definitions or {})
+        self.skip_statements = skip_statements
+        self.rewritten = 0
+        self._in_store_target = 0
+
+    def visit_ExprStmt(self, node: ast.ExprStmt):
+        if id(node) in self.skip_statements:
+            return node
+        return self.generic_visit(node)
+
+    def visit_Assignment(self, node: ast.Assignment):
+        # Do not rewrite the *target* of stores to the buffer (kernels never
+        # write their perforated inputs, but be safe).
+        node.value = self.visit(node.value)
+        if isinstance(node.target, ast.Index):
+            node.target.index = self.visit(node.target.index)
+        return node
+
+    def visit_Index(self, node: ast.Index):
+        node.index = self.visit(node.index)
+        if isinstance(node.base, ast.Identifier) and node.base.name == self.buffer:
+            new_index = self.inliner.visit(node.index.clone())
+            new_index = self.substituter.visit(new_index)
+            self.rewritten += 1
+            return ast.Index(ast.Identifier(self.tile_name), new_index)
+        node.base = self.visit(node.base)
+        return node

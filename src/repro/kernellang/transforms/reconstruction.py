@@ -1,0 +1,156 @@
+"""Reconstruction pass: fill the perforated parts of the local tile.
+
+After :class:`~repro.kernellang.transforms.perforation.PerforationPass` has
+restricted the prefetch, this pass appends code that reconstructs the
+skipped tile elements from the fetched ones, entirely in local memory:
+
+* **nearest-neighbour (NN)** reconstruction copies the value of the nearest
+  fetched row (row schemes) or the nearest core element (stencil scheme);
+* **linear interpolation (LI)** blends the two enclosing fetched rows and
+  falls back to NN where only one neighbour exists (tile border), exactly
+  as described in Section 5.1 of the paper.
+
+A work-group barrier is inserted before and after the reconstruction code
+so reads of neighbouring rows observe the prefetched data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import ast
+from ..errors import TransformError
+from .pass_manager import BufferPlan, Pass, TransformContext, parse_statements
+from .perforation import ROW_SCHEME, STENCIL_SCHEME
+
+#: Reconstruction technique identifiers.
+NEAREST_NEIGHBOR = "nearest-neighbor"
+LINEAR_INTERPOLATION = "linear-interpolation"
+
+
+class ReconstructionPass(Pass):
+    """Insert local-memory reconstruction code for perforated buffers."""
+
+    name = "reconstruction"
+
+    def __init__(
+        self,
+        technique: str = NEAREST_NEIGHBOR,
+        buffers: Sequence[str] | None = None,
+    ) -> None:
+        if technique not in (NEAREST_NEIGHBOR, LINEAR_INTERPOLATION):
+            raise TransformError(f"unknown reconstruction technique {technique!r}")
+        self.technique = technique
+        self.buffers = list(buffers) if buffers is not None else None
+
+    # ------------------------------------------------------------------
+    def run(self, context: TransformContext) -> None:
+        targets = self.buffers if self.buffers is not None else sorted(context.plans)
+        inserted_any = False
+        for buffer in targets:
+            plan = context.plan_for(buffer)
+            if not plan.perforated:
+                raise TransformError(
+                    f"buffer {buffer!r} is staged but not perforated; "
+                    "run PerforationPass before ReconstructionPass"
+                )
+            statements = self._reconstruction_statements(context, plan)
+            self._insert_after_prefetch(context, plan, statements)
+            inserted_any = True
+            context.add_note(f"buffer {buffer!r}: {self.technique} reconstruction")
+        if not inserted_any:
+            raise TransformError("ReconstructionPass had no perforated buffers to handle")
+
+    # ------------------------------------------------------------------
+    def _insert_after_prefetch(
+        self, context: TransformContext, plan: BufferPlan, statements: list[ast.Stmt]
+    ) -> None:
+        body = context.kernel.body.statements
+        index = next(
+            (i for i, stmt in enumerate(body) if stmt is plan.prefetch_loop), None
+        )
+        if index is None:  # pragma: no cover - defensive
+            raise TransformError(
+                f"prefetch loop of buffer {plan.buffer!r} is no longer in the kernel body"
+            )
+        barrier = parse_statements("barrier(CLK_LOCAL_MEM_FENCE);")
+        context.kernel.body.statements = (
+            body[: index + 1] + barrier + statements + body[index + 1 :]
+        )
+
+    # ------------------------------------------------------------------
+    def _reconstruction_statements(
+        self, context: TransformContext, plan: BufferPlan
+    ) -> list[ast.Stmt]:
+        if plan.scheme_kind == ROW_SCHEME:
+            if self.technique == LINEAR_INTERPOLATION:
+                return parse_statements(self._rows_linear(context, plan))
+            return parse_statements(self._rows_nearest(context, plan))
+        if plan.scheme_kind == STENCIL_SCHEME:
+            # Linear interpolation is not defined on the one-sided halo; the
+            # paper falls back to nearest-neighbour there.
+            return parse_statements(self._stencil_nearest(context, plan))
+        raise TransformError(
+            f"buffer {plan.buffer!r} uses unknown scheme kind {plan.scheme_kind!r}"
+        )
+
+    def _rows_nearest(self, context: TransformContext, plan: BufferPlan) -> str:
+        step = plan.scheme_step
+        last_loaded = ((plan.tile_h - 1) // step) * step
+        return f"""
+        for (int _kp_ry = {plan.ly_name}; _kp_ry < {plan.tile_h}; _kp_ry += {context.tile_y}) {{
+            for (int _kp_rx = {plan.lx_name}; _kp_rx < {plan.tile_w}; _kp_rx += {context.tile_x}) {{
+                if ((_kp_ry % {step}) != 0) {{
+                    int _kp_src = ((_kp_ry + {step // 2}) / {step}) * {step};
+                    if (_kp_src > {last_loaded}) {{
+                        _kp_src = {last_loaded};
+                    }}
+                    {plan.tile_name}[_kp_ry * {plan.tile_w} + _kp_rx] =
+                        {plan.tile_name}[_kp_src * {plan.tile_w} + _kp_rx];
+                }}
+            }}
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);
+        """
+
+    def _rows_linear(self, context: TransformContext, plan: BufferPlan) -> str:
+        step = plan.scheme_step
+        last_loaded = ((plan.tile_h - 1) // step) * step
+        return f"""
+        for (int _kp_ry = {plan.ly_name}; _kp_ry < {plan.tile_h}; _kp_ry += {context.tile_y}) {{
+            for (int _kp_rx = {plan.lx_name}; _kp_rx < {plan.tile_w}; _kp_rx += {context.tile_x}) {{
+                if ((_kp_ry % {step}) != 0) {{
+                    int _kp_lo = (_kp_ry / {step}) * {step};
+                    int _kp_hi = _kp_lo + {step};
+                    if (_kp_hi > {last_loaded}) {{
+                        {plan.tile_name}[_kp_ry * {plan.tile_w} + _kp_rx] =
+                            {plan.tile_name}[_kp_lo * {plan.tile_w} + _kp_rx];
+                    }} else {{
+                        float _kp_t = (float)(_kp_ry - _kp_lo) / (float){step};
+                        {plan.tile_name}[_kp_ry * {plan.tile_w} + _kp_rx] =
+                            mix({plan.tile_name}[_kp_lo * {plan.tile_w} + _kp_rx],
+                                {plan.tile_name}[_kp_hi * {plan.tile_w} + _kp_rx],
+                                _kp_t);
+                    }}
+                }}
+            }}
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);
+        """
+
+    def _stencil_nearest(self, context: TransformContext, plan: BufferPlan) -> str:
+        halo = plan.halo
+        return f"""
+        for (int _kp_ry = {plan.ly_name}; _kp_ry < {plan.tile_h}; _kp_ry += {context.tile_y}) {{
+            for (int _kp_rx = {plan.lx_name}; _kp_rx < {plan.tile_w}; _kp_rx += {context.tile_x}) {{
+                if (_kp_ry < {halo} || _kp_ry >= {plan.tile_h - halo} ||
+                    _kp_rx < {halo} || _kp_rx >= {plan.tile_w - halo}) {{
+                    int _kp_sy = clamp(_kp_ry, {halo}, {plan.tile_h - halo - 1});
+                    int _kp_sx = clamp(_kp_rx, {halo}, {plan.tile_w - halo - 1});
+                    {plan.tile_name}[_kp_ry * {plan.tile_w} + _kp_rx] =
+                        {plan.tile_name}[_kp_sy * {plan.tile_w} + _kp_sx];
+                }}
+            }}
+        }}
+        barrier(CLK_LOCAL_MEM_FENCE);
+        """

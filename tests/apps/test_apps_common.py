@@ -1,0 +1,155 @@
+"""Cross-cutting tests that every benchmark application must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    IMAGE_APPS,
+    TABLE1_ORDER,
+    all_applications,
+    available_applications,
+    get_application,
+)
+from repro.clsim import NDRange
+from repro.core import (
+    ACCURATE_CONFIG,
+    ROWS1_LI,
+    ROWS1_NN,
+    ROWS2_NN,
+    STENCIL1_NN,
+    compute_error,
+    default_configurations,
+)
+from repro.kernellang import check_program, parse_program
+from repro.kernellang.analysis import analyze_kernel
+
+
+def inputs_for(app, image, hotspot):
+    return hotspot if app.name == "hotspot" else image
+
+
+class TestRegistry:
+    def test_six_applications_available(self):
+        assert len(available_applications()) == 6
+        assert set(TABLE1_ORDER) == set(available_applications())
+
+    def test_get_application_unknown(self):
+        with pytest.raises(KeyError):
+            get_application("raytracer")
+
+    def test_all_applications_order(self):
+        apps = all_applications()
+        assert [a.name for a in apps] == list(TABLE1_ORDER)
+
+    def test_describe_contains_domain(self):
+        for app in all_applications():
+            assert app.domain in app.describe()
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+class TestPerApplication:
+    def test_kernel_source_is_valid(self, name):
+        app = get_application(name)
+        program = parse_program(app.kernel_source())
+        check_program(program)
+        kernel = program.kernel()
+        assert kernel.is_kernel
+
+    def test_kernel_halo_matches_declared_halo(self, name):
+        app = get_application(name)
+        info = analyze_kernel(parse_program(app.kernel_source()).kernel())
+        assert info.max_halo == app.halo
+
+    def test_reference_output_shape(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        reference = app.reference(inputs)
+        width, height = app.global_size(inputs)
+        assert reference.shape == (height, width)
+
+    def test_accurate_config_reproduces_reference(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        reference = app.reference(inputs)
+        accurate = app.approximate(inputs, ACCURATE_CONFIG)
+        np.testing.assert_allclose(accurate, reference, atol=1e-9)
+
+    def test_perforated_error_is_bounded(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        reference = app.reference(inputs)
+        config = ROWS1_NN.with_work_group((16, 16))
+        approx = app.approximate(inputs, config)
+        error = compute_error(reference, approx, app.error_metric)
+        assert 0.0 <= error < 0.5
+
+    def test_rows2_error_at_least_rows1(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        reference = app.reference(inputs)
+        rows1 = compute_error(reference, app.approximate(inputs, ROWS1_NN), app.error_metric)
+        rows2 = compute_error(reference, app.approximate(inputs, ROWS2_NN), app.error_metric)
+        assert rows2 >= rows1 - 1e-12
+
+    def test_linear_interpolation_not_worse_than_nn(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        reference = app.reference(inputs)
+        nn = compute_error(reference, app.approximate(inputs, ROWS1_NN), app.error_metric)
+        li = compute_error(reference, app.approximate(inputs, ROWS1_LI), app.error_metric)
+        assert li <= nn * 1.05 + 1e-12
+
+    def test_stencil_error_small_when_applicable(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        if app.halo == 0:
+            pytest.skip("stencil scheme needs a halo")
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        reference = app.reference(inputs)
+        stencil = compute_error(reference, app.approximate(inputs, STENCIL1_NN), app.error_metric)
+        rows1 = compute_error(reference, app.approximate(inputs, ROWS1_NN), app.error_metric)
+        assert stencil <= rows1 + 1e-12
+
+    def test_profiles_for_all_default_configs(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        global_size = app.global_size(inputs)
+        for config in [ACCURATE_CONFIG] + default_configurations(app.halo):
+            profile, ndrange = app.profile(config, global_size)
+            assert isinstance(ndrange, NDRange)
+            assert ndrange.global_size == global_size
+            assert profile.traffic  # at least input + output traffic
+            store_buffers = [t for t in profile.traffic if t.is_store]
+            assert store_buffers, "every kernel writes its output"
+
+    def test_perforated_profile_moves_less_data(self, name, natural_image_64, hotspot_input_64):
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        global_size = app.global_size(inputs)
+        accurate_profile, _ = app.profile(
+            ACCURATE_CONFIG.with_work_group(app.baseline_work_group), global_size
+        )
+        rows1_profile, _ = app.profile(ROWS1_NN, global_size)
+
+        def loaded_elements(profile):
+            return sum(
+                t.elements_per_group() + t.cached_accesses_per_group
+                for t in profile.traffic
+                if not t.is_store
+            )
+
+        assert loaded_elements(rows1_profile) < loaded_elements(accurate_profile)
+
+    def test_invalid_work_group_rejected(self, name, natural_image_64, hotspot_input_64):
+        from repro.core import ConfigurationError
+
+        app = get_application(name)
+        inputs = inputs_for(app, natural_image_64, hotspot_input_64)
+        bad = ROWS1_NN.with_work_group((7, 3))
+        with pytest.raises(ConfigurationError):
+            app.profile(bad, app.global_size(inputs))
+
+
+class TestImageAppsList:
+    def test_image_apps_subset(self):
+        assert set(IMAGE_APPS) < set(TABLE1_ORDER)
+        assert "hotspot" not in IMAGE_APPS

@@ -1,0 +1,154 @@
+"""Application-specific tests: Sobel3/Sobel5, Inversion and Hotspot."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    HotspotApp,
+    HotspotCoefficients,
+    INVERSION_MAX,
+    InversionApp,
+    SOBEL3_GX,
+    SOBEL5_GX,
+    Sobel3App,
+    Sobel5App,
+)
+from repro.core import ACCURATE_CONFIG, ErrorMetric, ROWS1_NN, STENCIL1_NN, compute_error
+from repro.data import generate_hotspot_input
+from repro.data.hotspot import AMBIENT_TEMPERATURE
+
+
+class TestSobel:
+    def test_masks_are_antisymmetric(self):
+        np.testing.assert_array_equal(SOBEL3_GX, -SOBEL3_GX[:, ::-1])
+        np.testing.assert_array_equal(SOBEL5_GX, -SOBEL5_GX[:, ::-1])
+
+    def test_uniform_image_has_zero_gradient(self):
+        constant = np.full((32, 32), 99.0)
+        assert float(Sobel3App().reference(constant).max()) == pytest.approx(0.0)
+        assert float(Sobel5App().reference(constant).max()) == pytest.approx(0.0)
+
+    def test_vertical_edge_detected(self):
+        image = np.zeros((32, 32))
+        image[:, 16:] = 200.0
+        edges = Sobel3App().reference(image)
+        edge_columns = edges[:, 14:18].mean()
+        flat_columns = edges[:, 2:10].mean()
+        assert edge_columns > 10 * max(flat_columns, 1e-9)
+
+    def test_sobel_uses_mean_error_metric(self):
+        assert Sobel3App().error_metric is ErrorMetric.MEAN_ERROR
+        assert Sobel5App().error_metric is ErrorMetric.MEAN_ERROR
+
+    def test_sobel5_halo_is_two(self):
+        assert Sobel5App().halo == 2
+        assert Sobel3App().halo == 1
+
+    def test_sobel5_reuse_exceeds_sobel3(self):
+        reuse3 = Sobel3App().perforator().reuse_factors(16, 16)["input"]
+        reuse5 = Sobel5App().perforator().reuse_factors(16, 16)["input"]
+        assert reuse5 > reuse3
+
+    def test_perforated_sobel_error_bounded(self, natural_image_64):
+        for app in (Sobel3App(), Sobel5App()):
+            reference = app.reference(natural_image_64)
+            approx = app.approximate(natural_image_64, STENCIL1_NN)
+            error = compute_error(reference, approx, app.error_metric)
+            assert 0 <= error < 0.2
+
+
+class TestInversion:
+    def test_reference_is_exact_negative(self, natural_image_64):
+        app = InversionApp()
+        np.testing.assert_allclose(
+            app.reference(natural_image_64), INVERSION_MAX - natural_image_64
+        )
+
+    def test_double_inversion_is_identity(self, natural_image_64):
+        app = InversionApp()
+        np.testing.assert_allclose(
+            app.reference(app.reference(natural_image_64)), natural_image_64
+        )
+
+    def test_has_no_halo_and_no_local_memory_baseline(self):
+        app = InversionApp()
+        assert app.halo == 0
+        assert not app.baseline_uses_local_memory
+
+    def test_rows_error_equals_input_reconstruction_error(self, natural_image_64):
+        """Inversion is linear and pointwise, so the output error equals the
+        input reconstruction error exactly."""
+        from repro.core import reconstruct_rows
+
+        app = InversionApp()
+        approx = app.approximate(natural_image_64, ROWS1_NN)
+        reconstructed = reconstruct_rows(natural_image_64, 2, "nearest-neighbor", phase=0)
+        np.testing.assert_allclose(approx, INVERSION_MAX - reconstructed)
+
+
+class TestHotspot:
+    def test_coefficients_positive_and_stable(self):
+        coeffs = HotspotCoefficients.for_grid(256, 256)
+        assert coeffs.step_div_cap > 0
+        assert coeffs.rx_1 > 0 and coeffs.ry_1 > 0 and coeffs.rz_1 > 0
+
+    def test_reference_step_stays_near_ambient(self, hotspot_input_64):
+        app = HotspotApp()
+        result = app.reference(hotspot_input_64)
+        assert result.shape == (64, 64)
+        assert (result > AMBIENT_TEMPERATURE - 10).all()
+        assert (result < AMBIENT_TEMPERATURE + 120).all()
+
+    def test_uniform_grid_without_power_stays_constant(self):
+        size = 32
+        temp = np.full((size, size), AMBIENT_TEMPERATURE)
+        power = np.zeros((size, size))
+        instance = generate_hotspot_input(size, seed=0)
+        instance = type(instance)(size=size, temperature=temp, power=power)
+        result = HotspotApp().reference(instance)
+        np.testing.assert_allclose(result, AMBIENT_TEMPERATURE, rtol=1e-9)
+
+    def test_heating_follows_power(self, hotspot_input_64):
+        """More dissipated power must mean more heating (everything else equal)."""
+        app = HotspotApp()
+        with_power = app.reference(hotspot_input_64)
+        no_power_input = type(hotspot_input_64)(
+            size=hotspot_input_64.size,
+            temperature=hotspot_input_64.temperature,
+            power=np.zeros_like(hotspot_input_64.power),
+        )
+        without_power = app.reference(no_power_input)
+        assert (with_power >= without_power - 1e-12).all()
+        assert with_power.mean() > without_power.mean()
+
+    def test_perforation_error_is_tiny(self, hotspot_input_64):
+        """Paper: Hotspot's perforated error is very small with low variance."""
+        app = HotspotApp()
+        reference = app.reference(hotspot_input_64)
+        approx = app.approximate(hotspot_input_64, ROWS1_NN)
+        error = compute_error(reference, approx, app.error_metric)
+        assert error < 0.01
+
+    def test_stencil_config_keeps_power_accurate(self, hotspot_input_64):
+        app = HotspotApp()
+        reference = app.reference(hotspot_input_64)
+        approx = app.approximate(hotspot_input_64, STENCIL1_NN)
+        error = compute_error(reference, approx, app.error_metric)
+        assert error < 0.01
+
+    def test_multi_step_simulation(self, hotspot_input_64):
+        app = HotspotApp()
+        accurate = app.simulate(hotspot_input_64, steps=3)
+        approximate = app.simulate(hotspot_input_64, steps=3, config=ROWS1_NN)
+        assert accurate.shape == approximate.shape
+        drift = compute_error(accurate, approximate, app.error_metric)
+        assert drift < 0.05
+
+    def test_simulate_rejects_non_positive_steps(self, hotspot_input_64):
+        with pytest.raises(ValueError):
+            HotspotApp().simulate(hotspot_input_64, steps=0)
+
+    def test_accurate_config_simulation_matches_reference_chain(self, hotspot_input_64):
+        app = HotspotApp()
+        one = app.simulate(hotspot_input_64, steps=1, config=ACCURATE_CONFIG)
+        np.testing.assert_allclose(one, app.reference(hotspot_input_64))

@@ -1,0 +1,91 @@
+"""Tests for classic sequential loop perforation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    accurate_loop,
+    compare_strategies,
+    input_perforation,
+    output_perforation,
+)
+from repro.core import ConfigurationError
+
+
+def smooth_signal(n=300):
+    xs = np.linspace(0, 4 * math.pi, n)
+    return 10.0 + np.sin(xs) * 3.0 + xs * 0.1
+
+
+def calc(value):
+    return value * value + 1.0
+
+
+class TestAccurateLoop:
+    def test_elementwise_application(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(accurate_loop(values, calc), [2.0, 5.0, 10.0])
+
+
+class TestOutputPerforation:
+    def test_saves_evaluations_and_loads(self):
+        outcome = output_perforation(smooth_signal(), calc, period=3)
+        assert outcome.evaluations == 100
+        assert outcome.loads == 100
+        assert outcome.evaluation_savings == pytest.approx(2 / 3, abs=0.01)
+        assert outcome.load_savings == pytest.approx(2 / 3, abs=0.01)
+        assert outcome.error > 0
+
+    def test_period_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            output_perforation(smooth_signal(), calc, period=1)
+
+    def test_computed_elements_are_exact(self):
+        signal = smooth_signal()
+        outcome = output_perforation(signal, calc, period=4)
+        reference = accurate_loop(signal, calc)
+        np.testing.assert_allclose(outcome.output[::4], reference[::4])
+
+
+class TestInputPerforation:
+    def test_computes_every_output_but_loads_fewer_inputs(self):
+        outcome = input_perforation(smooth_signal(), calc, period=3)
+        assert outcome.evaluations == 300
+        assert outcome.loads == 100
+        assert outcome.load_savings == pytest.approx(2 / 3, abs=0.01)
+
+    def test_linear_beats_nearest_on_smooth_signal(self):
+        li = input_perforation(smooth_signal(), calc, period=3, linear=True)
+        nn = input_perforation(smooth_signal(), calc, period=3, linear=False)
+        assert li.error <= nn.error
+
+    def test_input_perforation_beats_output_perforation(self):
+        """The motivating claim of Section 4.1: same loads saved, lower error."""
+        signal = smooth_signal()
+        output = output_perforation(signal, calc, period=3)
+        inputs = input_perforation(signal, calc, period=3, linear=True)
+        assert inputs.error < output.error
+        assert inputs.loads == output.loads
+
+    def test_period_validation(self):
+        with pytest.raises(ConfigurationError):
+            input_perforation(smooth_signal(), calc, period=0)
+
+    def test_loaded_samples_pass_through(self):
+        signal = smooth_signal()
+        outcome = input_perforation(signal, calc, period=5, linear=True)
+        reference = accurate_loop(signal, calc)
+        np.testing.assert_allclose(outcome.output[::5], reference[::5])
+
+
+class TestCompareStrategies:
+    def test_all_three_strategies_reported(self):
+        results = compare_strategies(smooth_signal(), calc, period=3)
+        assert set(results) == {
+            "output-perforation",
+            "input-perforation-nn",
+            "input-perforation-li",
+        }
+        assert results["input-perforation-li"].error <= results["output-perforation"].error

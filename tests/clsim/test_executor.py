@@ -1,0 +1,157 @@
+"""Tests for the functional executor (work groups, barriers, kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.clsim import (
+    BARRIER,
+    BarrierDivergenceError,
+    Buffer,
+    Executor,
+    Kernel,
+    KernelArgumentError,
+    KernelExecutionError,
+    NDRange,
+)
+
+
+def copy_kernel():
+    def body(ctx, wi):
+        x, y = wi.gid(0), wi.gid(1)
+        src = ctx.buffer("input")
+        dst = ctx.buffer("output")
+        dst.write((y, x), src.read((y, x)))
+
+    return Kernel("copy", body, ["input", "output"])
+
+
+def scale_kernel():
+    def body(ctx, wi):
+        x, y = wi.gid(0), wi.gid(1)
+        factor = ctx.arg("factor")
+        src = ctx.buffer("input")
+        dst = ctx.buffer("output")
+        dst.write((y, x), factor * src.read((y, x)))
+
+    return Kernel("scale", body, ["input", "output", "factor"])
+
+
+def reverse_rows_kernel():
+    """Uses local memory + a barrier: each row is reversed within a work group."""
+
+    def body(ctx, wi):
+        x, y = wi.gid(0), wi.gid(1)
+        lx = wi.lid(0)
+        width = ctx.get_local_size(0)
+        tile = ctx.local.allocate(f"row{wi.lid(1)}", (width,))
+        src = ctx.buffer("input")
+        tile[lx] = src.read((y, x))
+        ctx.local.record_writes(1)
+        yield BARRIER
+        dst = ctx.buffer("output")
+        ctx.local.record_reads(1)
+        dst.write((y, x), tile[width - 1 - lx])
+
+    return Kernel("reverse", body, ["input", "output"])
+
+
+class TestBasicExecution:
+    def test_copy_kernel(self, executor):
+        data = np.arange(64, dtype=np.float64).reshape(8, 8)
+        inb, outb = Buffer(data, "in"), Buffer(np.zeros_like(data), "out")
+        stats = executor.run(copy_kernel(), NDRange((8, 8), (4, 4)), {"input": inb, "output": outb})
+        np.testing.assert_array_equal(outb.array, data)
+        assert stats.work_items == 64
+        assert stats.work_groups == 4
+        assert stats.global_counters.reads == 64
+        assert stats.global_counters.writes == 64
+
+    def test_scalar_arguments_positional(self, executor):
+        data = np.ones((4, 4))
+        inb, outb = Buffer(data), Buffer(np.zeros_like(data))
+        executor.run(scale_kernel(), NDRange((4, 4), (2, 2)), [inb, outb, 3.0])
+        np.testing.assert_allclose(outb.array, 3.0)
+
+    def test_missing_argument_rejected(self, executor):
+        inb = Buffer(np.ones((4, 4)))
+        with pytest.raises(KernelArgumentError):
+            executor.run(copy_kernel(), NDRange((4, 4), (2, 2)), {"input": inb})
+
+    def test_unexpected_argument_rejected(self, executor):
+        inb = Buffer(np.ones((4, 4)))
+        outb = Buffer(np.ones((4, 4)))
+        with pytest.raises(KernelArgumentError):
+            executor.run(
+                copy_kernel(),
+                NDRange((4, 4), (2, 2)),
+                {"input": inb, "output": outb, "bogus": 1},
+            )
+
+    def test_wrong_positional_count(self, executor):
+        with pytest.raises(KernelArgumentError):
+            executor.run(copy_kernel(), NDRange((4, 4), (2, 2)), [Buffer(np.ones((4, 4)))])
+
+    def test_kernel_exception_wrapped(self, executor):
+        def bad_body(ctx, wi):
+            raise ValueError("boom")
+
+        kernel = Kernel("bad", bad_body, [])
+        with pytest.raises(KernelExecutionError):
+            executor.run(kernel, NDRange((2, 2), (2, 2)), {})
+
+
+class TestBarriers:
+    def test_barrier_synchronises_work_group(self, executor):
+        data = np.arange(64, dtype=np.float64).reshape(8, 8)
+        inb, outb = Buffer(data), Buffer(np.zeros_like(data))
+        stats = executor.run(
+            reverse_rows_kernel(), NDRange((8, 8), (8, 2)), {"input": inb, "output": outb}
+        )
+        expected = data.copy()
+        expected[:, :8] = data[:, ::-1]
+        np.testing.assert_array_equal(outb.array, expected)
+        assert stats.barriers == 4  # one barrier per work group
+        assert stats.local_counters.total > 0
+
+    def test_divergent_barrier_detected(self, executor):
+        def body(ctx, wi):
+            if wi.lid(0) == 0:
+                yield BARRIER
+
+        kernel = Kernel("divergent", body, [])
+        with pytest.raises(BarrierDivergenceError):
+            executor.run(kernel, NDRange((4,), (4,)), {})
+
+    def test_invalid_yield_value_rejected(self, executor):
+        def body(ctx, wi):
+            yield "not-a-barrier"
+
+        kernel = Kernel("weird", body, [])
+        with pytest.raises(KernelExecutionError):
+            executor.run(kernel, NDRange((2,), (2,)), {})
+
+    def test_generator_error_wrapped(self, executor):
+        def body(ctx, wi):
+            yield BARRIER
+            raise RuntimeError("late failure")
+
+        kernel = Kernel("late", body, [])
+        with pytest.raises(KernelExecutionError):
+            executor.run(kernel, NDRange((2,), (2,)), {})
+
+
+class TestExecutorLimits:
+    def test_device_limit_enforced(self, executor):
+        with pytest.raises(Exception):
+            executor.run(copy_kernel(), NDRange((64, 64), (32, 32)), {})
+
+    def test_private_memory_stats_collected(self, executor):
+        def body(ctx, wi):
+            private = ctx.private_memory(wi)
+            private.store("tmp", wi.gid(0))
+            _ = private.load("tmp")
+
+        kernel = Kernel("private", body, [])
+        stats = executor.run(kernel, NDRange((4, 4), (2, 2)), {})
+        assert stats.private_counters.reads == 16
+        assert stats.private_counters.writes == 16

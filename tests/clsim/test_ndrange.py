@@ -1,0 +1,130 @@
+"""Tests for NDRange index arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clsim import (
+    InvalidNDRangeError,
+    InvalidWorkGroupSizeError,
+    NDRange,
+    firepro_w5100,
+    ndrange_2d,
+)
+
+
+class TestConstruction:
+    def test_basic_2d(self):
+        nd = NDRange((64, 32), (16, 8))
+        assert nd.rank == 2
+        assert nd.total_work_items == 64 * 32
+        assert nd.work_group_size == 128
+        assert nd.num_groups == (4, 4)
+        assert nd.total_groups == 16
+
+    def test_1d_and_3d(self):
+        assert NDRange((128,), (32,)).total_groups == 4
+        nd3 = NDRange((8, 8, 8), (4, 4, 2))
+        assert nd3.total_groups == 2 * 2 * 4
+        assert nd3.work_group_size == 32
+
+    def test_local_must_divide_global(self):
+        with pytest.raises(InvalidWorkGroupSizeError):
+            NDRange((100, 100), (16, 16))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(InvalidNDRangeError):
+            NDRange((64, 64), (16,))
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(InvalidNDRangeError):
+            NDRange((0, 64), (1, 16))
+
+    def test_too_many_dimensions(self):
+        with pytest.raises(InvalidNDRangeError):
+            NDRange((2, 2, 2, 2), (1, 1, 1, 1))
+
+    def test_helper_constructor(self):
+        nd = ndrange_2d(256, 128, 16, 8)
+        assert nd.global_size == (256, 128)
+        assert nd.local_size == (16, 8)
+
+
+class TestDeviceValidation:
+    def test_work_group_exceeding_device_limit(self):
+        device = firepro_w5100()
+        nd = NDRange((1024, 1024), (32, 32))  # 1024 > 256 limit
+        with pytest.raises(InvalidWorkGroupSizeError):
+            nd.validate_for_device(device)
+
+    def test_valid_configuration_passes(self):
+        device = firepro_w5100()
+        NDRange((1024, 1024), (16, 16)).validate_for_device(device)
+
+    def test_waves_per_group(self):
+        device = firepro_w5100()
+        assert NDRange((64, 64), (16, 16)).waves_per_group(device) == 4
+        assert NDRange((64, 64), (8, 8)).waves_per_group(device) == 1
+
+
+class TestIteration:
+    def test_group_ids_cover_grid(self):
+        nd = NDRange((32, 16), (8, 8))
+        ids = list(nd.group_ids())
+        assert len(ids) == nd.total_groups
+        assert len(set(ids)) == nd.total_groups
+        assert (0, 0) in ids
+        assert (3, 1) in ids
+
+    def test_work_items_in_group_have_consistent_ids(self):
+        nd = NDRange((32, 16), (8, 4))
+        items = list(nd.work_items_in_group((1, 2)))
+        assert len(items) == 32
+        for wi in items:
+            assert wi.group_id == (1, 2)
+            assert wi.global_id[0] == 1 * 8 + wi.local_id[0]
+            assert wi.global_id[1] == 2 * 4 + wi.local_id[1]
+            assert wi.gid(0) == wi.global_id[0]
+            assert wi.lid(1) == wi.local_id[1]
+            assert wi.grp(0) == 1
+
+    def test_all_work_items_unique_and_complete(self):
+        nd = NDRange((16, 8), (4, 4))
+        items = list(nd.work_items())
+        assert len(items) == 128
+        assert len({wi.global_id for wi in items}) == 128
+
+    def test_invalid_group_id_rejected(self):
+        nd = NDRange((16, 8), (4, 4))
+        with pytest.raises(InvalidNDRangeError):
+            list(nd.work_items_in_group((10, 0)))
+
+    def test_1d_iteration(self):
+        nd = NDRange((16,), (4,))
+        items = list(nd.work_items())
+        assert [wi.global_id for wi in items[:4]] == [(0,), (1,), (2,), (3,)]
+
+
+class TestProperties:
+    @given(
+        gx=st.sampled_from([16, 32, 64, 128]),
+        gy=st.sampled_from([16, 32, 64]),
+        lx=st.sampled_from([2, 4, 8, 16]),
+        ly=st.sampled_from([2, 4, 8, 16]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_count_times_group_size_equals_total(self, gx, gy, lx, ly):
+        nd = NDRange((gx, gy), (lx, ly))
+        assert nd.total_groups * nd.work_group_size == nd.total_work_items
+
+    @given(
+        lx=st.sampled_from([2, 4, 8]),
+        ly=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_global_ids_reconstructed_from_group_and_local(self, lx, ly):
+        nd = NDRange((32, 32), (lx, ly))
+        for wi in nd.work_items_in_group((1, 1)):
+            assert wi.global_id == (
+                wi.group_id[0] * lx + wi.local_id[0],
+                wi.group_id[1] * ly + wi.local_id[1],
+            )

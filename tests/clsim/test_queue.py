@@ -1,0 +1,90 @@
+"""Tests for the command queue and profiling events."""
+
+import numpy as np
+import pytest
+
+from repro.clsim import (
+    Buffer,
+    CommandQueue,
+    Kernel,
+    KernelProfile,
+    NDRange,
+    ProfilingError,
+    tile_traffic,
+)
+
+
+def make_kernel(with_profile=False):
+    def body(ctx, wi):
+        x, y = wi.gid(0), wi.gid(1)
+        dst = ctx.buffer("output")
+        dst.write((y, x), float(x + y))
+
+    factory = None
+    if with_profile:
+        def factory(ndrange, args):
+            return KernelProfile(
+                name="coords", traffic=(tile_traffic("output", *ndrange.local_size, is_store=True),)
+            )
+
+    return Kernel("coords", body, ["output"], profile_factory=factory)
+
+
+class TestCommandQueue:
+    def test_enqueue_executes_and_profiles(self, queue):
+        out = queue.create_buffer(np.zeros((8, 8)), "out")
+        profile = KernelProfile(name="coords", traffic=(tile_traffic("out", 4, 4, is_store=True),))
+        event = queue.enqueue(make_kernel(), NDRange((8, 8), (4, 4)), {"output": out}, profile=profile)
+        assert event.stats is not None
+        assert event.timing is not None
+        assert event.duration_s > 0
+        assert event.duration_ms == pytest.approx(event.duration_s * 1e3)
+        assert out.array[3, 5] == 8.0
+
+    def test_profile_factory_used_when_no_explicit_profile(self, queue):
+        out = queue.create_buffer(np.zeros((8, 8)))
+        event = queue.enqueue(make_kernel(with_profile=True), NDRange((8, 8), (4, 4)), {"output": out})
+        assert event.timing is not None
+
+    def test_event_without_profile_has_no_duration(self, queue):
+        out = queue.create_buffer(np.zeros((8, 8)))
+        event = queue.enqueue(make_kernel(), NDRange((8, 8), (4, 4)), {"output": out})
+        assert event.timing is None
+        with pytest.raises(ProfilingError):
+            _ = event.duration_s
+
+    def test_timing_only_launch(self, queue):
+        out = queue.create_buffer(np.zeros((8, 8)))
+        profile = KernelProfile(name="coords")
+        event = queue.enqueue(
+            make_kernel(), NDRange((8, 8), (4, 4)), {"output": out}, profile=profile, execute=False
+        )
+        assert event.stats is None
+        assert event.timing is not None
+        assert float(out.array.sum()) == 0.0  # not executed
+
+    def test_total_time_accumulates(self, queue):
+        out = queue.create_buffer(np.zeros((8, 8)))
+        profile = KernelProfile(name="coords", traffic=(tile_traffic("out", 4, 4, is_store=True),))
+        queue.enqueue(make_kernel(), NDRange((8, 8), (4, 4)), {"output": out}, profile=profile)
+        queue.enqueue(make_kernel(), NDRange((8, 8), (4, 4)), {"output": out}, profile=profile)
+        assert queue.total_time_s() == pytest.approx(2 * queue.events[0].timing.total_time_s)
+        queue.finish()  # no-op, must not raise
+
+    def test_create_output_like(self, queue):
+        src = queue.create_buffer(np.ones((4, 4), dtype=np.float32))
+        out = queue.create_output_like(src, "out")
+        assert out.shape == src.shape
+        assert out.dtype == src.dtype
+
+    def test_profiling_disabled(self, device):
+        queue = CommandQueue(device, profiling=False)
+        out = queue.create_buffer(np.zeros((4, 4)))
+        profile = KernelProfile(name="coords")
+        event = queue.enqueue(make_kernel(), NDRange((4, 4), (2, 2)), {"output": out}, profile=profile)
+        assert event.timing is None
+
+    def test_estimate_pure_analytical(self, queue):
+        profile = KernelProfile(name="p", traffic=(tile_traffic("in", 16, 16, halo=1),))
+        breakdown = queue.estimate(profile, NDRange((256, 256), (16, 16)))
+        assert breakdown.total_time_s > 0

@@ -1,0 +1,87 @@
+"""Tests for approximation configurations."""
+
+import pytest
+
+from repro.core import (
+    ACCURATE_CONFIG,
+    ApproximationConfig,
+    ConfigurationError,
+    DEFAULT_WORK_GROUP,
+    FIGURE8_CONFIGS,
+    LINEAR_INTERPOLATION,
+    NEAREST_NEIGHBOR,
+    ROWS1,
+    ROWS1_LI,
+    ROWS1_NN,
+    ROWS2_NN,
+    STENCIL1,
+    STENCIL1_NN,
+    WORK_GROUP_CANDIDATES,
+    default_configurations,
+)
+
+
+class TestConfigBasics:
+    def test_accurate_config(self):
+        assert ACCURATE_CONFIG.is_accurate
+        assert ACCURATE_CONFIG.label == "Accurate"
+        assert ACCURATE_CONFIG.work_group == DEFAULT_WORK_GROUP
+
+    def test_labels_match_paper_terminology(self):
+        assert ROWS1_NN.label == "Rows1:NN"
+        assert ROWS2_NN.label == "Rows2:NN"
+        assert ROWS1_LI.label == "Rows1:LI"
+        assert STENCIL1_NN.label == "Stencil1:NN"
+
+    def test_figure8_configs(self):
+        labels = [c.label for c in FIGURE8_CONFIGS]
+        assert labels == ["Rows1:NN", "Rows2:NN", "Rows1:LI", "Stencil1:NN"]
+
+    def test_with_work_group(self):
+        shaped = ROWS1_NN.with_work_group((32, 8))
+        assert shaped.work_group == (32, 8)
+        assert shaped.scheme == ROWS1
+        assert ROWS1_NN.work_group == DEFAULT_WORK_GROUP  # original untouched
+
+    def test_describe_mentions_scheme(self):
+        assert "rows" in ROWS1_NN.describe()
+        assert "16x16" in ROWS1_NN.describe()
+
+    def test_invalid_reconstruction(self):
+        with pytest.raises(ConfigurationError):
+            ApproximationConfig(scheme=ROWS1, reconstruction="cubic")
+
+    def test_invalid_work_group(self):
+        with pytest.raises(ConfigurationError):
+            ApproximationConfig(scheme=ROWS1, work_group=(0, 16))
+
+
+class TestHaloValidation:
+    def test_stencil_requires_halo(self):
+        with pytest.raises(ConfigurationError):
+            STENCIL1_NN.validate_for_halo(0)
+        STENCIL1_NN.validate_for_halo(1)
+
+    def test_rows_work_for_any_halo(self):
+        ROWS1_NN.validate_for_halo(0)
+        ROWS1_NN.validate_for_halo(2)
+
+    def test_default_configurations_respect_halo(self):
+        with_halo = default_configurations(1)
+        without_halo = default_configurations(0)
+        assert any(c.scheme == STENCIL1 for c in with_halo)
+        assert not any(c.scheme == STENCIL1 for c in without_halo)
+        assert len(with_halo) == 4
+        assert len(without_halo) == 3
+
+
+class TestWorkGroupCandidates:
+    def test_paper_shapes_present(self):
+        assert (2, 128) in WORK_GROUP_CANDIDATES
+        assert (128, 2) in WORK_GROUP_CANDIDATES
+        assert (16, 16) in WORK_GROUP_CANDIDATES
+        assert len(WORK_GROUP_CANDIDATES) == 10
+
+    def test_all_shapes_fit_the_device_limit(self):
+        assert all(x * y <= 256 for x, y in WORK_GROUP_CANDIDATES)
+        assert all(x & (x - 1) == 0 and y & (y - 1) == 0 for x, y in WORK_GROUP_CANDIDATES)

@@ -1,0 +1,119 @@
+"""Tests for the Pareto-front analysis."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import dominates, hypervolume_2d, is_pareto_optimal, pareto_front
+
+
+@dataclass(frozen=True)
+class Point:
+    label: str
+    speedup: float
+    error: float
+
+
+class TestDominates:
+    def test_faster_and_more_accurate_dominates(self):
+        assert dominates(Point("a", 2.0, 0.01), Point("b", 1.5, 0.05))
+
+    def test_equal_points_do_not_dominate(self):
+        a = Point("a", 2.0, 0.01)
+        b = Point("b", 2.0, 0.01)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        fast_inaccurate = Point("a", 3.0, 0.10)
+        slow_accurate = Point("b", 1.2, 0.01)
+        assert not dominates(fast_inaccurate, slow_accurate)
+        assert not dominates(slow_accurate, fast_inaccurate)
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated_points(self):
+        points = [
+            Point("accurate", 1.0, 0.0),
+            Point("ours", 2.0, 0.01),
+            Point("paraprox", 1.8, 0.07),
+            Point("bad", 0.9, 0.10),
+        ]
+        front = pareto_front(points)
+        labels = {p.label for p in front}
+        assert labels == {"accurate", "ours"}
+
+    def test_front_sorted_by_speedup(self):
+        points = [Point("a", 2.0, 0.02), Point("b", 1.0, 0.0), Point("c", 3.0, 0.08)]
+        front = pareto_front(points)
+        speedups = [p.speedup for p in front]
+        assert speedups == sorted(speedups)
+
+    def test_duplicates_collapse(self):
+        points = [Point("a", 2.0, 0.02), Point("a2", 2.0, 0.02)]
+        assert len(pareto_front(points)) == 1
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_is_pareto_optimal(self):
+        points = [Point("a", 1.0, 0.0), Point("b", 2.0, 0.05), Point("c", 1.5, 0.2)]
+        assert is_pareto_optimal(points[0], points)
+        assert is_pareto_optimal(points[1], points)
+        assert not is_pareto_optimal(points[2], points)
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_front_members_are_mutually_non_dominating(self, data):
+        points = [Point(f"p{i}", s, e) for i, (s, e) in enumerate(data)]
+        front = pareto_front(points)
+        assert front  # at least one point always survives
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b)
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_point_dominated_by_or_on_front(self, data):
+        points = [Point(f"p{i}", s, e) for i, (s, e) in enumerate(data)]
+        front = pareto_front(points)
+        for point in points:
+            on_front = any(
+                f.speedup == point.speedup and f.error == point.error for f in front
+            )
+            dominated = any(dominates(f, point) for f in front)
+            assert on_front or dominated
+
+
+class TestHypervolume:
+    def test_better_front_has_larger_hypervolume(self):
+        ours = [Point("stencil", 2.1, 0.0045), Point("rows", 2.2, 0.029)]
+        paraprox = [Point("rows", 2.08, 0.075), Point("center", 1.9, 0.09)]
+        assert hypervolume_2d(ours) > hypervolume_2d(paraprox)
+
+    def test_points_below_reference_contribute_nothing(self):
+        points = [Point("slow", 0.8, 0.01)]
+        assert hypervolume_2d(points) == 0.0
+
+    def test_empty(self):
+        assert hypervolume_2d([]) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the Rodinia-style Hotspot input generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AMBIENT_TEMPERATURE,
+    HotspotInput,
+    RODINIA_SIZES,
+    generate_hotspot_input,
+    generate_power_grid,
+    generate_temperature_grid,
+    rodinia_input_suite,
+)
+
+
+class TestPowerGrid:
+    def test_shape_and_positivity(self):
+        power = generate_power_grid(64, seed=1)
+        assert power.shape == (64, 64)
+        assert (power > 0).all()
+
+    def test_contains_hot_blocks(self):
+        power = generate_power_grid(128, seed=2)
+        assert power.max() > 10 * power.min()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(generate_power_grid(64, seed=5), generate_power_grid(64, seed=5))
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            generate_power_grid(4)
+
+
+class TestTemperatureGrid:
+    def test_temperatures_near_ambient(self):
+        power = generate_power_grid(64, seed=3)
+        temp = generate_temperature_grid(64, power, seed=3)
+        assert temp.shape == (64, 64)
+        assert (temp >= AMBIENT_TEMPERATURE - 5.0).all()
+        assert (temp <= AMBIENT_TEMPERATURE + 80.0).all()
+
+    def test_hot_regions_follow_power(self):
+        power = generate_power_grid(64, seed=4)
+        temp = generate_temperature_grid(64, power, seed=4)
+        hottest_cell = np.unravel_index(np.argmax(temp), temp.shape)
+        assert power[hottest_cell] > np.median(power)
+
+
+class TestHotspotInput:
+    def test_generate_single_input(self):
+        instance = generate_hotspot_input(64, seed=9)
+        assert instance.size == 64
+        assert instance.name == "hotspot-64"
+        assert instance.temperature.shape == (64, 64)
+        assert instance.power.shape == (64, 64)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HotspotInput(size=32, temperature=np.zeros((16, 16)), power=np.zeros((32, 32)))
+        with pytest.raises(ValueError):
+            HotspotInput(size=32, temperature=np.zeros((32, 32)), power=np.zeros((16, 16)))
+
+    def test_rodinia_suite_sizes(self):
+        suite = rodinia_input_suite(max_size=256)
+        assert [i.size for i in suite] == [s for s in RODINIA_SIZES if s <= 256]
+        full = rodinia_input_suite(max_size=None, sizes=(64, 96))
+        assert len(full) == 2
+
+    def test_suite_is_deterministic(self):
+        a = rodinia_input_suite(max_size=96, seed=7)
+        b = rodinia_input_suite(max_size=96, seed=7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.power, y.power)
+            np.testing.assert_array_equal(x.temperature, y.temperature)

@@ -1,0 +1,90 @@
+"""Tests for the synthetic image generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    IMAGE_MAX,
+    IMAGE_MIN,
+    ImageClass,
+    class_examples,
+    flat_image,
+    generate_dataset,
+    generate_image,
+    natural_image,
+    pattern_image,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [flat_image, natural_image, pattern_image])
+    def test_shape_and_range(self, generator):
+        image = generator(size=64, seed=3)
+        assert image.shape == (64, 64)
+        assert image.min() >= IMAGE_MIN
+        assert image.max() <= IMAGE_MAX
+        assert image.dtype == np.float64
+
+    @pytest.mark.parametrize("generator", [flat_image, natural_image, pattern_image])
+    def test_deterministic_for_seed(self, generator):
+        a = generator(size=32, seed=9)
+        b = generator(size=32, seed=9)
+        np.testing.assert_array_equal(a, b)
+        c = generator(size=32, seed=10)
+        assert not np.array_equal(a, c)
+
+    def test_generate_image_accepts_string_class(self):
+        image = generate_image("pattern", size=32, seed=1)
+        assert image.shape == (32, 32)
+
+    def test_generate_image_rejects_unknown_class(self):
+        with pytest.raises(ValueError):
+            generate_image("fractal", size=32)
+
+    def test_high_frequency_content_ordering(self):
+        """Pattern images must carry more row-to-row variation than natural
+        ones, which in turn carry more than flat ones — this ordering is what
+        drives the Figure 7 error ordering."""
+
+        def row_variation(image):
+            return float(np.abs(np.diff(image, axis=0)).mean())
+
+        flat = flat_image(size=128, seed=5)
+        natural = natural_image(size=128, seed=5)
+        pattern = pattern_image(size=128, seed=5)
+        assert row_variation(flat) < row_variation(natural) < row_variation(pattern)
+
+    def test_pattern_variants_cover_kinds(self):
+        variations = {pattern_image(size=32, seed=s).std() for s in range(6)}
+        assert len(variations) > 1
+
+
+class TestDataset:
+    def test_default_mix_counts(self):
+        dataset = generate_dataset(count=20, size=32, seed=1)
+        assert len(dataset) == 20
+        classes = [spec.image_class for spec, _ in dataset]
+        assert classes.count(ImageClass.NATURAL) >= 6
+        assert classes.count(ImageClass.FLAT) >= 4
+        assert classes.count(ImageClass.PATTERN) >= 4
+
+    def test_specs_are_named_and_seeded(self):
+        dataset = generate_dataset(count=5, size=32, seed=7)
+        names = [spec.name for spec, _ in dataset]
+        assert len(set(names)) == 5
+        seeds = [spec.seed for spec, _ in dataset]
+        assert len(set(seeds)) == 5
+
+    def test_custom_mix(self):
+        dataset = generate_dataset(
+            count=10, size=32, seed=3, class_mix={ImageClass.PATTERN: 1.0}
+        )
+        assert all(spec.image_class == ImageClass.PATTERN for spec, _ in dataset)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_dataset(count=0)
+
+    def test_class_examples_has_all_classes(self):
+        examples = class_examples(size=32)
+        assert set(examples) == {ImageClass.FLAT, ImageClass.NATURAL, ImageClass.PATTERN}

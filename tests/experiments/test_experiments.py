@@ -1,0 +1,175 @@
+"""End-to-end tests of the per-figure experiment harnesses (quick mode).
+
+Each experiment must run, render, and reproduce the *shape* of the paper's
+finding it regenerates (orderings, who wins), even at the reduced quick
+sizes.
+"""
+
+import pytest
+
+from repro.data.images import ImageClass
+from repro.experiments import figure6, figure7, figure8, figure9, figure10, headline, table1
+
+
+@pytest.fixture(scope="module")
+def figure6_result():
+    return figure6.run(quick=True)
+
+
+@pytest.fixture(scope="module")
+def figure8_result():
+    return figure8.run(quick=True)
+
+
+@pytest.fixture(scope="module")
+def figure9_result():
+    return figure9.run(quick=True)
+
+
+@pytest.fixture(scope="module")
+def figure10_result():
+    return figure10.run(quick=True)
+
+
+class TestTable1:
+    def test_lists_all_six_applications(self):
+        result = table1.run()
+        assert len(result.rows) == 6
+        names = [row.application.lower() for row in result.rows]
+        assert "gaussian" in names and "sobel5" in names
+
+    def test_error_metrics_match_paper(self):
+        result = table1.run()
+        metric_by_app = {row.application.lower(): row.error_metric for row in result.rows}
+        assert "relative" in metric_by_app["gaussian"].lower()
+        assert metric_by_app["sobel3"].lower() == "mean error"
+
+    def test_render_contains_table(self):
+        text = table1.render(table1.run())
+        assert "Table 1" in text
+        assert "Medical imaging" in text
+
+
+class TestFigure6:
+    def test_all_apps_present(self, figure6_result):
+        assert set(figure6_result.per_app) == set(figure6.FIGURE6_APPS)
+
+    def test_every_speedup_positive_and_sobel5_largest(self, figure6_result):
+        speedups = {name: r.speedup for name, r in figure6_result.per_app.items()}
+        assert all(s > 0.8 for s in speedups.values())
+        assert speedups["sobel5"] == max(speedups.values())
+
+    def test_median_errors_are_moderate(self, figure6_result):
+        for name, result in figure6_result.per_app.items():
+            assert result.summary.median < 0.25, name
+
+    def test_hotspot_error_is_smallest(self, figure6_result):
+        medians = {name: r.summary.median for name, r in figure6_result.per_app.items()}
+        assert medians["hotspot"] == min(medians.values())
+
+    def test_render(self, figure6_result):
+        text = figure6.render(figure6_result)
+        assert "Figure 6" in text
+        assert "sobel5" in text
+
+
+class TestFigure7:
+    def test_error_ordering_matches_paper(self):
+        result = figure7.run(quick=True)
+        errors = result.errors
+        assert errors[ImageClass.FLAT] < errors[ImageClass.NATURAL] < errors[ImageClass.PATTERN]
+
+    def test_render_marks_ordering_ok(self):
+        result = figure7.run(quick=True)
+        text = figure7.render(result)
+        assert "Figure 7" in text
+        assert "MISMATCH" not in text
+
+
+class TestFigure8:
+    def test_three_apps_present(self, figure8_result):
+        assert set(figure8_result.sweeps) == {"gaussian", "inversion", "median"}
+
+    def test_inversion_has_no_stencil_point(self, figure8_result):
+        labels = {p.label for p in figure8_result.sweeps["inversion"].points}
+        assert "Stencil1:NN" not in labels
+        assert {"Rows1:NN", "Rows2:NN", "Rows1:LI"} <= labels
+
+    def test_error_orderings(self, figure8_result):
+        for name in ("gaussian", "median"):
+            by_label = {p.label: p.error for p in figure8_result.sweeps[name].points}
+            assert by_label["Stencil1:NN"] <= by_label["Rows1:NN"]
+            assert by_label["Rows1:LI"] <= by_label["Rows1:NN"]
+            assert by_label["Rows2:NN"] >= by_label["Rows1:NN"]
+
+    def test_stencil_error_below_one_percent(self, figure8_result):
+        by_label = {p.label: p.error for p in figure8_result.sweeps["gaussian"].points}
+        assert by_label["Stencil1:NN"] < 0.01
+
+    def test_li_reduction_positive(self, figure8_result):
+        assert all(r > 0 for r in figure8_result.li_error_reduction.values())
+
+    def test_render(self, figure8_result):
+        text = figure8.render(figure8_result)
+        assert "Figure 8" in text
+        assert "Rows1:LI" in text
+
+
+class TestFigure9:
+    def test_timings_for_three_apps(self, figure9_result):
+        assert set(figure9_result.timings) == {"gaussian", "inversion", "median"}
+
+    def test_wide_shapes_beat_narrow_shapes(self, figure9_result):
+        """Paper observation 1: configurations with x >= y are faster."""
+        for name, timings in figure9_result.timings.items():
+            baseline = {t.work_group: t.runtime_s for t in timings if t.variant == "Baseline"}
+            assert baseline[(128, 2)] <= baseline[(2, 128)]
+
+    def test_best_shapes_are_x_major(self, figure9_result):
+        for per_variant in figure9_result.best_shape.values():
+            for shape in per_variant.values():
+                assert shape[0] >= shape[1]
+
+    def test_render(self, figure9_result):
+        text = figure9.render(figure9_result)
+        assert "Figure 9" in text
+        assert "best shape" in text
+
+
+class TestFigure10:
+    def test_points_for_three_apps(self, figure10_result):
+        assert set(figure10_result.points) == {"gaussian", "inversion", "median"}
+
+    def test_every_app_has_ours_paraprox_and_accurate(self, figure10_result):
+        for points in figure10_result.points.values():
+            families = {p.family for p in points}
+            assert families == {"ours", "paraprox", "accurate"}
+
+    def test_our_schemes_dominate_for_stencil_apps(self, figure10_result):
+        assert figure10.ours_dominates_paraprox(figure10_result, "gaussian")
+        assert figure10.ours_dominates_paraprox(figure10_result, "median")
+
+    def test_accurate_point_is_pareto_optimal(self, figure10_result):
+        for points in figure10_result.points.values():
+            accurate = [p for p in points if p.family == "accurate"][0]
+            assert accurate.pareto_optimal
+
+    def test_at_least_one_of_our_points_on_front(self, figure10_result):
+        for name, points in figure10_result.points.items():
+            ours_on_front = [p for p in points if p.family == "ours" and p.pareto_optimal]
+            assert ours_on_front, name
+
+    def test_render(self, figure10_result):
+        text = figure10.render(figure10_result)
+        assert "Figure 10" in text
+        assert "Pareto" in text
+
+
+class TestHeadline:
+    def test_aggregation(self, figure6_result):
+        result = headline.run(quick=True)
+        assert result.min_speedup <= result.max_speedup
+        assert 0 < result.mean_error < 0.25
+        text = headline.render(result)
+        assert "speedup range" in text
+        assert "average error" in text

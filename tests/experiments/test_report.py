@@ -1,0 +1,72 @@
+"""Tests for the report runner and the CLI entry point."""
+
+import pytest
+
+from repro.experiments import available_experiments, run_experiment, write_report
+from repro.experiments.__main__ import build_parser, main
+from repro.experiments.common import ExperimentSettings, format_table, milliseconds, percent, times
+
+
+class TestCommonHelpers:
+    def test_settings_quick_vs_full(self):
+        quick = ExperimentSettings.for_mode(quick=True)
+        full = ExperimentSettings.for_mode(quick=False)
+        assert quick.image_size < full.image_size
+        assert quick.image_count < full.image_count
+        assert full.image_size == 1024
+        assert full.image_count == 100
+
+    def test_settings_size_override(self):
+        settings = ExperimentSettings.for_mode(quick=False, image_size=512)
+        assert settings.image_size == 512
+
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Long header"], [["1", "x"], ["22", "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A ")
+        assert "---" in lines[1]
+
+    def test_number_formatters(self):
+        assert percent(0.1234) == "12.34%"
+        assert times(2.5) == "2.50x"
+        assert milliseconds(0.001) == "1.000 ms"
+
+
+class TestReportRunner:
+    def test_available_experiments(self):
+        names = available_experiments()
+        assert "figure6" in names and "table1" in names and "headline" in names
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_run_single_experiment(self):
+        text = run_experiment("table1", quick=True)
+        assert "Table 1" in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", quick=True, names=["table1", "figure7"])
+        content = path.read_text()
+        assert content.startswith("# Reproduction report")
+        assert "Table 1" in content
+        assert "Figure 7" in content
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure7", "--quick"])
+        assert args.experiment == "figure7"
+        assert args.quick
+
+    def test_main_runs_single_experiment(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+
+    def test_main_runs_figure7_quick(self, capsys):
+        assert main(["figure7", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 7" in captured.out

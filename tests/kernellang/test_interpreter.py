@@ -1,0 +1,261 @@
+"""Tests for the AST interpreter running on the clsim executor."""
+
+import numpy as np
+import pytest
+
+from repro.clsim import Buffer, Executor, NDRange
+from repro.kernellang import InterpreterError, compile_kernel, parse_program
+from repro.kernellang.interpreter import KernelInterpreter
+
+
+def run_kernel(source, width, height, inputs, extra_args=None, local=(8, 8), kernel_name=None):
+    """Helper: execute a 2D kernel with an input and output image buffer."""
+    executor = Executor()
+    kernel = compile_kernel(source, kernel_name)
+    input_buffer = Buffer(np.asarray(inputs, dtype=np.float64), "input")
+    output_buffer = Buffer(np.zeros((height, width)), "output")
+    args = {"input": input_buffer, "output": output_buffer, "width": width, "height": height}
+    if extra_args:
+        args.update(extra_args)
+        kernel_args = {name: args[name] for name in kernel.arg_names}
+    else:
+        kernel_args = {name: args[name] for name in kernel.arg_names}
+    executor.run(kernel, NDRange((width, height), local), kernel_args)
+    return output_buffer.array
+
+
+class TestSimpleKernels:
+    def test_identity_kernel(self, rng):
+        source = """
+        __kernel void ident(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            output[y * width + x] = input[y * width + x];
+        }
+        """
+        image = rng.random((16, 16))
+        result = run_kernel(source, 16, 16, image)
+        np.testing.assert_allclose(result, image)
+
+    def test_inversion_kernel(self, rng):
+        source = """
+        __kernel void inv(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            output[y * width + x] = 255.0f - input[y * width + x];
+        }
+        """
+        image = rng.random((16, 16)) * 255
+        result = run_kernel(source, 16, 16, image)
+        np.testing.assert_allclose(result, 255.0 - image)
+
+    def test_loops_and_conditionals(self):
+        source = """
+        __kernel void count(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            int total = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 2 == 0) { total += 2; } else { total += 1; }
+            }
+            output[y * width + x] = (float)(total);
+        }
+        """
+        result = run_kernel(source, 8, 8, np.zeros((8, 8)))
+        np.testing.assert_allclose(result, 15.0)
+
+    def test_while_break_continue(self):
+        source = """
+        __kernel void wbc(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            int i = 0;
+            int acc = 0;
+            while (true) {
+                i++;
+                if (i > 20) { break; }
+                if (i % 2 == 0) { continue; }
+                acc += i;
+            }
+            output[y * width + x] = (float)(acc);
+        }
+        """
+        result = run_kernel(source, 4, 4, np.zeros((4, 4)), local=(4, 4))
+        np.testing.assert_allclose(result, 100.0)  # 1+3+...+19
+
+    def test_private_array_and_sort(self):
+        source = """
+        __kernel void sort3(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            float values[3];
+            values[0] = 3.0f; values[1] = 1.0f; values[2] = 2.0f;
+            for (int i = 1; i < 3; i++) {
+                float key = values[i];
+                int j = i - 1;
+                while (j >= 0 && values[j] > key) {
+                    values[j + 1] = values[j];
+                    j = j - 1;
+                }
+                values[j + 1] = key;
+            }
+            output[y * width + x] = values[1];
+        }
+        """
+        result = run_kernel(source, 4, 4, np.zeros((4, 4)), local=(4, 4))
+        np.testing.assert_allclose(result, 2.0)
+
+    def test_helper_function_call(self):
+        source = """
+        float relu(float v) {
+            if (v < 0.0f) { return 0.0f; }
+            return v;
+        }
+        __kernel void apply(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            output[y * width + x] = relu(input[y * width + x] - 0.5f);
+        }
+        """
+        image = np.linspace(0, 1, 64).reshape(8, 8)
+        result = run_kernel(source, 8, 8, image)
+        np.testing.assert_allclose(result, np.maximum(image - 0.5, 0.0), atol=1e-12)
+
+    def test_constant_array(self):
+        source = """
+        __constant float weights[3] = {0.25f, 0.5f, 0.25f};
+        __kernel void use(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            output[y * width + x] = weights[0] + weights[1] + weights[2];
+        }
+        """
+        result = run_kernel(source, 4, 4, np.zeros((4, 4)), local=(4, 4))
+        np.testing.assert_allclose(result, 1.0)
+
+    def test_ternary_and_builtins(self):
+        source = """
+        __kernel void tb(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            float v = input[y * width + x];
+            output[y * width + x] = v > 0.5f ? sqrt(v) : fabs(v - 0.25f);
+        }
+        """
+        image = np.linspace(0, 1, 64).reshape(8, 8)
+        result = run_kernel(source, 8, 8, image)
+        expected = np.where(image > 0.5, np.sqrt(image), np.abs(image - 0.25))
+        np.testing.assert_allclose(result, expected, atol=1e-12)
+
+
+class TestLocalMemoryAndBarriers:
+    def test_local_tile_with_barrier(self, rng):
+        source = """
+        __kernel void shift(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            int lx = get_local_id(0);
+            int ly = get_local_id(1);
+            __local float tile[64];
+            tile[ly * 8 + lx] = input[y * width + x];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int neighbor = (lx + 1) % 8;
+            output[y * width + x] = tile[ly * 8 + neighbor];
+        }
+        """
+        image = rng.random((16, 16))
+        result = run_kernel(source, 16, 16, image)
+        expected = np.concatenate([image[:, 1:8], image[:, 0:1]], axis=1)
+        np.testing.assert_allclose(result[:, 0:7], expected[:, 0:7])
+
+    def test_barrier_in_expression_position_rejected(self):
+        source = """
+        __kernel void bad(__global const float* input, __global float* output, int width, int height) {
+            output[0] = barrier(CLK_LOCAL_MEM_FENCE);
+        }
+        """
+        with pytest.raises(Exception):
+            run_kernel(source, 4, 4, np.zeros((4, 4)), local=(4, 4))
+
+
+class TestErrorHandling:
+    def test_out_of_bounds_global_access(self):
+        source = """
+        __kernel void oob(__global const float* input, __global float* output, int width, int height) {
+            output[width * height + 5] = 1.0f;
+        }
+        """
+        with pytest.raises(Exception):
+            run_kernel(source, 4, 4, np.zeros((4, 4)), local=(4, 4))
+
+    def test_division_by_zero(self):
+        source = """
+        __kernel void div(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            output[x] = 1.0f / (float)(x - x);
+        }
+        """
+        with pytest.raises(Exception):
+            run_kernel(source, 4, 4, np.zeros((4, 4)), local=(4, 4))
+
+    def test_pointer_arg_must_be_buffer(self):
+        source = """
+        __kernel void k(__global const float* input, __global float* output, int width, int height) {
+            output[0] = input[0];
+        }
+        """
+        executor = Executor()
+        kernel = compile_kernel(source)
+        with pytest.raises(Exception):
+            executor.run(
+                kernel,
+                NDRange((4, 4), (4, 4)),
+                {"input": 3.0, "output": Buffer(np.zeros((4, 4))), "width": 4, "height": 4},
+            )
+
+    def test_constant_array_is_read_only(self):
+        source = """
+        __constant float weights[2] = {1.0f, 2.0f};
+        __kernel void k(__global const float* input, __global float* output, int width, int height) {
+            weights[0] = 5.0f;
+            output[0] = weights[0];
+        }
+        """
+        with pytest.raises(Exception):
+            run_kernel(source, 4, 4, np.zeros((4, 4)), local=(4, 4))
+
+    def test_file_scope_initializer_required(self):
+        source = """
+        __constant float weights[2];
+        __kernel void k(__global const float* input, __global float* output, int width, int height) {
+            output[0] = 1.0f;
+        }
+        """
+        program = parse_program(source)
+        with pytest.raises(InterpreterError):
+            KernelInterpreter(program)
+
+
+class TestAccessCounting:
+    def test_global_access_counts_match_kernel_structure(self, rng):
+        source = """
+        __kernel void sum3(__global const float* input, __global float* output, int width, int height) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            float acc = 0.0f;
+            for (int dx = -1; dx <= 1; dx++) {
+                acc += input[y * width + clamp(x + dx, 0, width - 1)];
+            }
+            output[y * width + x] = acc;
+        }
+        """
+        executor = Executor()
+        kernel = compile_kernel(source)
+        image = rng.random((8, 8))
+        inb, outb = Buffer(image, "in"), Buffer(np.zeros_like(image), "out")
+        stats = executor.run(
+            kernel, NDRange((8, 8), (4, 4)), {"input": inb, "output": outb, "width": 8, "height": 8}
+        )
+        assert inb.counters.reads == 64 * 3
+        assert outb.counters.writes == 64
+        assert stats.work_items == 64

@@ -1,0 +1,83 @@
+"""Tests for the lexer."""
+
+import pytest
+
+from repro.kernellang import LexError, tokenize
+from repro.kernellang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_gives_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("__kernel void foo(int bar)")
+        assert [t.kind for t in tokens[:2]] == [TokenKind.KEYWORD, TokenKind.KEYWORD]
+        assert tokens[2].kind is TokenKind.IDENT
+        assert tokens[2].text == "foo"
+
+    def test_punctuators_longest_match(self):
+        assert texts("a <<= b >> c != d") == ["a", "<<=", "b", ">>", "c", "!=", "d"]
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("int a;\nfloat b;")
+        float_token = [t for t in tokens if t.text == "float"][0]
+        assert float_token.location.line == 2
+        assert float_token.location.column == 1
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("int a = `b`;")
+
+
+class TestNumbers:
+    def test_integer_literals(self):
+        tokens = tokenize("0 42 0x1F 7u 100L")
+        assert all(t.kind is TokenKind.INT_LITERAL for t in tokens[:-1])
+        assert tokens[2].int_value == 31
+
+    def test_float_literals(self):
+        tokens = tokenize("1.0 2.5f .5f 1e3 2.0e-2f 3.f")
+        assert all(t.kind is TokenKind.FLOAT_LITERAL for t in tokens[:-1])
+        assert tokens[1].float_value == pytest.approx(2.5)
+        assert tokens[3].float_value == pytest.approx(1000.0)
+        assert tokens[4].float_value == pytest.approx(0.02)
+
+    def test_float_vs_member_access(self):
+        # "1.0f" is one token; "a.b" stays three tokens.
+        assert texts("a . b") == ["a", ".", "b"]
+
+
+class TestComments:
+    def test_line_comments_skipped(self):
+        assert texts("int a; // comment here\nint b;") == ["int", "a", ";", "int", "b", ";"]
+
+    def test_block_comments_skipped(self):
+        assert texts("int /* hi \n there */ a;") == ["int", "a", ";"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("int a; /* never closed")
+
+    def test_preprocessor_lines_skipped(self):
+        source = "#define FOO 1\nint a;"
+        assert texts(source) == ["int", "a", ";"]
+
+
+class TestTokenHelpers:
+    def test_is_punct_and_is_keyword(self):
+        tokens = tokenize("if (x) { }")
+        assert tokens[0].is_keyword("if")
+        assert tokens[1].is_punct("(")
+        assert not tokens[1].is_punct(")")

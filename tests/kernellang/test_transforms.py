@@ -1,0 +1,276 @@
+"""Tests for the compiler passes (prefetch, perforation, reconstruction).
+
+The key functional guarantees:
+
+* local prefetch alone is semantics-preserving (bit-exact output);
+* perforation + reconstruction produce outputs whose error behaves as the
+  paper describes (LI <= NN, Stencil smallest, Rows2 > Rows1);
+* the transformed kernels really do read less global memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clsim import Buffer, Executor, NDRange
+from repro.kernellang import TransformError, generate, parse_program
+from repro.kernellang.interpreter import KernelInterpreter
+from repro.kernellang.transforms import (
+    LINEAR_INTERPOLATION,
+    NEAREST_NEIGHBOR,
+    LocalPrefetchPass,
+    PassManager,
+    PerforationPass,
+    ReconstructionPass,
+    parse_statements,
+)
+from repro.kernellang import ast
+
+GAUSSIAN = """
+__constant float coeff[9] = {
+    0.0625f, 0.125f, 0.0625f, 0.125f, 0.25f, 0.125f, 0.0625f, 0.125f, 0.0625f
+};
+
+__kernel void gaussian(__global const float* input, __global float* output, int width, int height) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float sum = 0.0f;
+    for (int dy = -1; dy <= 1; dy++) {
+        for (int dx = -1; dx <= 1; dx++) {
+            int xx = clamp(x + dx, 0, width - 1);
+            int yy = clamp(y + dy, 0, height - 1);
+            sum += input[yy * width + xx] * coeff[(dy + 1) * 3 + (dx + 1)];
+        }
+    }
+    output[y * width + x] = sum;
+}
+"""
+
+INVERSION = """
+__kernel void inversion(__global const float* input, __global float* output, int width, int height) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    output[y * width + x] = 255.0f - input[y * width + x];
+}
+"""
+
+
+def run_program(program, image, local=(8, 8)):
+    executor = Executor()
+    kernel = KernelInterpreter(program).as_clsim_kernel()
+    height, width = image.shape
+    inb = Buffer(image, "input")
+    outb = Buffer(np.zeros_like(image), "output")
+    stats = executor.run(
+        kernel,
+        NDRange((width, height), local),
+        {"input": inb, "output": outb, "width": width, "height": height},
+    )
+    return outb.array.copy(), inb.counters.reads, stats
+
+
+def transform(source, passes, tile=(8, 8)):
+    program = parse_program(source)
+    kernel = program.kernel()
+    PassManager(passes).run(kernel, *tile)
+    return program
+
+
+@pytest.fixture(scope="module")
+def image():
+    rng = np.random.default_rng(7)
+    base = np.linspace(0, 255, 32 * 32).reshape(32, 32)
+    return base + rng.normal(0, 10, size=(32, 32))
+
+
+@pytest.fixture(scope="module")
+def accurate_output(image):
+    output, reads, _ = run_program(parse_program(GAUSSIAN), image)
+    return output, reads
+
+
+class TestParseStatements:
+    def test_snippet_parsing(self):
+        statements = parse_statements("int a = 1; a += 2;")
+        assert len(statements) == 2
+        assert isinstance(statements[0], ast.DeclStmt)
+
+    def test_snippet_syntax_error(self):
+        with pytest.raises(Exception):
+            parse_statements("int a = ;")
+
+
+class TestLocalPrefetchPass:
+    def test_prefetch_is_semantics_preserving(self, image, accurate_output):
+        program = transform(GAUSSIAN, [LocalPrefetchPass()])
+        output, _, stats = run_program(program, image)
+        np.testing.assert_allclose(output, accurate_output[0], atol=1e-9)
+        assert stats.barriers > 0
+
+    def test_prefetch_reduces_global_reads(self, image, accurate_output):
+        program = transform(GAUSSIAN, [LocalPrefetchPass()])
+        _, reads, _ = run_program(program, image)
+        assert reads < accurate_output[1]
+
+    def test_prefetch_declares_local_tile(self):
+        program = transform(GAUSSIAN, [LocalPrefetchPass()])
+        text = generate(program)
+        assert "__local float _kp_input_tile" in text
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in text
+
+    def test_tile_size_matches_work_group_and_halo(self):
+        program = transform(GAUSSIAN, [LocalPrefetchPass()], tile=(16, 8))
+        text = generate(program)
+        assert f"_kp_input_tile[{(16 + 2) * (8 + 2)}]" in text
+
+    def test_unknown_buffer_rejected(self):
+        with pytest.raises(TransformError):
+            transform(GAUSSIAN, [LocalPrefetchPass(buffers=["nonexistent"])])
+
+    def test_kernel_without_reads_rejected(self):
+        source = """
+        __kernel void writes_only(__global float* output, int width, int height) {
+            output[get_global_id(1) * width + get_global_id(0)] = 1.0f;
+        }
+        """
+        with pytest.raises(TransformError):
+            transform(source, [LocalPrefetchPass()])
+
+
+class TestPerforationPass:
+    def test_requires_prefetch_first(self):
+        program = parse_program(GAUSSIAN)
+        kernel = program.kernel()
+        with pytest.raises(TransformError):
+            PassManager([PerforationPass("rows", 2)]).run(kernel, 8, 8)
+
+    def test_rows_guard_inserted(self):
+        program = transform(GAUSSIAN, [LocalPrefetchPass(), PerforationPass("rows", 2)])
+        text = generate(program)
+        assert "% 2) == 0" in text
+
+    def test_stencil_guard_inserted(self):
+        program = transform(GAUSSIAN, [LocalPrefetchPass(), PerforationPass("stencil")])
+        text = generate(program)
+        assert "_kp_ty >= 1" in text
+
+    def test_invalid_scheme_kind(self):
+        with pytest.raises(TransformError):
+            PerforationPass("diagonal")
+
+    def test_invalid_row_step(self):
+        with pytest.raises(TransformError):
+            PerforationPass("rows", step=1)
+
+    def test_stencil_requires_halo(self):
+        with pytest.raises(TransformError):
+            transform(INVERSION, [LocalPrefetchPass(), PerforationPass("stencil")])
+
+    def test_double_perforation_rejected(self):
+        with pytest.raises(TransformError):
+            transform(
+                GAUSSIAN,
+                [LocalPrefetchPass(), PerforationPass("rows", 2), PerforationPass("rows", 2)],
+            )
+
+    def test_perforation_halves_global_reads(self, image):
+        full = transform(GAUSSIAN, [LocalPrefetchPass()])
+        _, full_reads, _ = run_program(full, image)
+        perforated = transform(
+            GAUSSIAN,
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        _, perforated_reads, _ = run_program(perforated, image)
+        assert perforated_reads == pytest.approx(full_reads * 0.5, rel=0.05)
+
+
+class TestReconstructionPass:
+    def test_requires_perforation_first(self):
+        with pytest.raises(TransformError):
+            transform(GAUSSIAN, [LocalPrefetchPass(), ReconstructionPass(NEAREST_NEIGHBOR)])
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(TransformError):
+            ReconstructionPass("cubic-spline")
+
+    def test_generated_kernel_reparses(self):
+        program = transform(
+            GAUSSIAN,
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(LINEAR_INTERPOLATION)],
+        )
+        regenerated = parse_program(generate(program))
+        assert regenerated.kernel().name == "gaussian"
+
+
+class TestEndToEndErrorBehaviour:
+    def _error(self, image, accurate, passes):
+        program = transform(GAUSSIAN, passes)
+        output, _, _ = run_program(program, image)
+        return float(np.mean(np.abs(output - accurate)))
+
+    def test_rows_nn_introduces_bounded_error(self, image, accurate_output):
+        error = self._error(
+            image,
+            accurate_output[0],
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        assert 0 < error < 20.0  # bounded, on a 0-255 scale
+
+    def test_linear_interpolation_beats_nearest_neighbor(self, image, accurate_output):
+        nn = self._error(
+            image,
+            accurate_output[0],
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        li = self._error(
+            image,
+            accurate_output[0],
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(LINEAR_INTERPOLATION)],
+        )
+        assert li <= nn
+
+    def test_rows2_error_exceeds_rows1(self, image, accurate_output):
+        rows1 = self._error(
+            image,
+            accurate_output[0],
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        rows2 = self._error(
+            image,
+            accurate_output[0],
+            [LocalPrefetchPass(), PerforationPass("rows", 4), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        assert rows2 >= rows1
+
+    def test_stencil_error_is_smallest(self, image, accurate_output):
+        stencil = self._error(
+            image,
+            accurate_output[0],
+            [LocalPrefetchPass(), PerforationPass("stencil"), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        rows1 = self._error(
+            image,
+            accurate_output[0],
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        assert stencil <= rows1
+
+    def test_inversion_rows_pipeline(self, image):
+        accurate, _, _ = run_program(parse_program(INVERSION), image)
+        program = transform(
+            INVERSION,
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(NEAREST_NEIGHBOR)],
+        )
+        output, _, _ = run_program(program, image)
+        error = float(np.mean(np.abs(output - accurate)))
+        assert 0 < error < 30.0
+
+    def test_transform_context_notes(self):
+        program = parse_program(GAUSSIAN)
+        kernel = program.kernel()
+        manager = PassManager(
+            [LocalPrefetchPass(), PerforationPass("rows", 2), ReconstructionPass(NEAREST_NEIGHBOR)]
+        )
+        context = manager.run(kernel, 8, 8)
+        assert any("rows perforation" in note for note in context.notes)
+        assert any("nearest-neighbor reconstruction" in note for note in context.notes)
+        assert context.plans["input"].perforated
