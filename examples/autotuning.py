@@ -2,29 +2,30 @@
 
 The paper's conclusion sketches a library that automatically applies and
 tunes kernel perforation.  This example runs that search for the Median
-benchmark: a joint sweep over the perforation schemes, reconstruction
-techniques and the ten work-group shapes of Figure 9, followed by a Pareto
-analysis and a pick for a 5% error budget.
+benchmark through the :class:`repro.api.PerforationEngine` session API: a
+joint sweep over the perforation schemes, reconstruction techniques and
+the ten work-group shapes of Figure 9 (evaluated on parallel workers with
+a shared reference cache), followed by a Pareto analysis and a pick for a
+5% error budget.
 
 Run with:  python examples/autotuning.py
 """
 
 from __future__ import annotations
 
-from repro.apps import MedianApp
-from repro.core import best_work_group, full_sweep
+from repro.api import PerforationEngine
 from repro.core.config import ACCURATE_CONFIG, ROWS1_NN, STENCIL1_NN
-from repro.core.pipeline import timing_for
 from repro.data import generate_image
 
 
 def main() -> None:
-    app = MedianApp()
+    engine = PerforationEngine(workers="auto")
     image = generate_image("natural", size=512, seed=7)
+    session = engine.session(app="median").with_inputs(image)
 
     print("Joint sweep: schemes x reconstruction x work-group shapes (Median)")
     print("-" * 72)
-    sweep = full_sweep(app, image)
+    sweep = session.full_sweep()
     print(f"  evaluated configurations : {len(sweep.points)}")
 
     print("\nPareto-optimal configurations (speedup vs error):")
@@ -41,8 +42,10 @@ def main() -> None:
 
     print("\nWork-group tuning (paper Figure 9 observation):")
     for label, config in (("Baseline", ACCURATE_CONFIG), ("Rows1:NN", ROWS1_NN), ("Stencil1:NN", STENCIL1_NN)):
-        shape = best_work_group(app, image, config)
-        runtime = timing_for(app, config.with_work_group(shape), image).total_time_s
+        shape = session.best_work_group(config)
+        runtime = engine.timing(
+            session.app, config.with_work_group(shape), session.app.global_size(image)
+        ).total_time_s
         print(
             f"  best shape for {label:<12s}: {shape[0]:>3d}x{shape[1]:<3d} "
             f"(modelled runtime {runtime * 1e3:.3f} ms)"

@@ -5,7 +5,8 @@ The example walks through the paper's core idea in three steps:
 1. the 1D loop-perforation illustration of Section 4.1 (output perforation
    vs. input perforation with reconstruction);
 2. evaluating the paper's configurations (Rows1/Rows2/Stencil1, NN/LI) on
-   the Gaussian benchmark with the simulated FirePro W5100;
+   the Gaussian benchmark with the simulated FirePro W5100, through the
+   :class:`repro.api.PerforationEngine` session API;
 3. using the compiler path to emit the perforated OpenCL C kernel you would
    run on a real GPU.
 
@@ -18,14 +19,9 @@ import math
 
 import numpy as np
 
-from repro.apps import GaussianApp
+from repro.api import PerforationEngine
 from repro.baselines import compare_strategies
-from repro.core import (
-    ROWS1_NN,
-    STENCIL1_NN,
-    default_configurations,
-    evaluate_configuration,
-)
+from repro.core import ROWS1_NN, default_configurations
 from repro.data import generate_image
 
 
@@ -48,23 +44,22 @@ def part_one_loop_perforation() -> None:
     print()
 
 
-def part_two_kernel_perforation() -> None:
+def part_two_kernel_perforation(engine: PerforationEngine) -> None:
     print("=" * 72)
     print("2. Kernel perforation of the Gaussian benchmark (simulated W5100)")
     print("=" * 72)
-    app = GaussianApp()
+    session = engine.session(app="gaussian")
     image = generate_image("natural", size=512, seed=42)
-    for config in default_configurations(app.halo):
-        result = evaluate_configuration(app, image, config)
+    for result in session.evaluate_many(image, default_configurations(session.app.halo)):
         print(f"  {result.describe()}")
     print()
 
 
-def part_three_compiler_output() -> None:
+def part_three_compiler_output(engine: PerforationEngine) -> None:
     print("=" * 72)
     print("3. Generated OpenCL C for Gaussian with Rows1:NN (excerpt)")
     print("=" * 72)
-    app = GaussianApp()
+    app = engine.resolve_app("gaussian")
     perforated = app.perforator().perforate(ROWS1_NN.with_work_group((16, 16)))
     lines = perforated.source.splitlines()
     for line in lines[:28]:
@@ -77,9 +72,10 @@ def part_three_compiler_output() -> None:
 
 
 def main() -> None:
+    engine = PerforationEngine(device="firepro-w5100", workers="auto")
     part_one_loop_perforation()
-    part_two_kernel_perforation()
-    part_three_compiler_output()
+    part_two_kernel_perforation(engine)
+    part_three_compiler_output(engine)
 
 
 if __name__ == "__main__":

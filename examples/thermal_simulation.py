@@ -14,20 +14,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps import HotspotApp
-from repro.core import ROWS1_NN, ROWS2_NN, compute_error, evaluate_configuration
+from repro.api import PerforationEngine
+from repro.core import ROWS1_NN, ROWS2_NN, compute_error
 from repro.data import generate_hotspot_input
 
 
 def main() -> None:
-    app = HotspotApp()
+    engine = PerforationEngine()
+    session = engine.session(app="hotspot")
+    app = session.app
     instance = generate_hotspot_input(size=512, seed=2018)
 
     print("Hotspot: 512x512 grid, Rodinia-style synthetic power map")
     print("-" * 72)
 
-    for config in (ROWS1_NN, ROWS2_NN):
-        result = evaluate_configuration(app, instance, config)
+    for result in session.evaluate_many(instance, (ROWS1_NN, ROWS2_NN)):
+        config = result.config
         print(
             f"  per-step {config.label:<10s} error {result.error * 100:7.4f}%   "
             f"speedup {result.speedup:4.2f}x   runtime {result.runtime_ms:7.3f} ms"

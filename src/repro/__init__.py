@@ -17,12 +17,17 @@ Juurlink; CGO 2018).  The library contains:
   Median, Hotspot, Sobel3, Sobel5);
 * :mod:`repro.data` — synthetic input generators standing in for the
   USC-SIPI image database and the Rodinia Hotspot inputs;
-* :mod:`repro.experiments` — one harness per table/figure of the paper.
+* :mod:`repro.experiments` — one harness per table/figure of the paper;
+* :mod:`repro.api` — the unified session API: the
+  :class:`~repro.api.engine.PerforationEngine` facade with registries,
+  result caching and parallel sweeps.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "PerforationEngine",
+    "api",
     "apps",
     "baselines",
     "clsim",
@@ -31,3 +36,13 @@ __all__ = [
     "experiments",
     "kernellang",
 ]
+
+
+def __getattr__(name: str):
+    # Convenience: ``from repro import PerforationEngine`` without making
+    # ``import repro`` pull in the whole evaluation stack.
+    if name == "PerforationEngine":
+        from .api.engine import PerforationEngine
+
+        return PerforationEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,69 @@
+"""``repro.api`` — the unified session API.
+
+The package centres on :class:`~repro.api.engine.PerforationEngine`, the
+facade that owns the simulated device, the timing model, the memoization
+cache and the worker pool, and hands out fluent per-application
+:class:`~repro.api.session.Session` objects:
+
+.. code-block:: python
+
+    from repro.api import PerforationEngine
+
+    engine = PerforationEngine(device="firepro-w5100", workers="auto")
+    sweep = engine.session(app="gaussian").sweep()
+    tuned = engine.session(app="sobel3").autotune(error_budget=0.01)
+
+Supporting pieces:
+
+* :mod:`repro.api.registry` — the string-keyed registries behind
+  ``app=``/``device=`` name resolution (see
+  :func:`repro.apps.register_application`,
+  :func:`repro.clsim.device.register_device`,
+  :func:`repro.core.schemes.register_scheme`);
+* :mod:`repro.api.cache` — memoization of reference outputs and timing
+  estimates shared by every session of an engine.
+
+Heavy submodules are imported lazily so that the registry module — which
+the application/device/scheme packages import at definition time — does not
+drag the whole evaluation stack in circularly.
+"""
+
+from __future__ import annotations
+
+from .registry import Registry, RegistryError
+
+__all__ = [
+    "CacheStats",
+    "CalibrationEntry",
+    "ExecutionRecord",
+    "PerforationEngine",
+    "Registry",
+    "RegistryError",
+    "ResultCache",
+    "Session",
+]
+
+_LAZY = {
+    "PerforationEngine": ("repro.api.engine", "PerforationEngine"),
+    "Session": ("repro.api.session", "Session"),
+    "CalibrationEntry": ("repro.api.session", "CalibrationEntry"),
+    "ExecutionRecord": ("repro.api.session", "ExecutionRecord"),
+    "ResultCache": ("repro.api.cache", "ResultCache"),
+    "CacheStats": ("repro.api.cache", "CacheStats"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

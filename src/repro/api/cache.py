@@ -1,0 +1,188 @@
+"""Memoization cache behind :class:`repro.api.engine.PerforationEngine`.
+
+Two kinds of results are worth remembering across a sweep:
+
+* **reference outputs** — the accurate kernel output for one input.  Every
+  configuration of a sweep (and every calibration pass of the quality-aware
+  session) compares against the same reference, so it must be computed once
+  per (application, input) pair, even when configurations are evaluated on
+  parallel workers;
+* **timing estimates** — the analytical model's breakdown for one
+  (application, configuration, global size) triple on the engine's device.
+  The baseline timing in particular is requested once per evaluated
+  configuration and is identical every time.
+
+Inputs are identified by content: NumPy arrays hash to a digest of their
+bytes, dataclass instances (e.g. :class:`repro.data.hotspot.HotspotInput`)
+hash field by field.  Objects that cannot be fingerprinted fall back to
+identity, in which case the cache keeps the object alive so the identity
+cannot be recycled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+#: Default bound on cached reference outputs.  References can be large
+#: (a 1024x1024 float64 image is 8 MiB), so the store is a small LRU: a
+#: sweep or calibration pass only ever needs the references of the inputs
+#: currently in flight.  Timing estimates are tiny and kept unbounded.
+DEFAULT_MAX_REFERENCES = 32
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache`."""
+
+    reference_hits: int = 0
+    reference_misses: int = 0
+    timing_hits: int = 0
+    timing_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.reference_hits + self.timing_hits
+
+    @property
+    def misses(self) -> int:
+        return self.reference_misses + self.timing_misses
+
+    def describe(self) -> str:
+        return (
+            f"references: {self.reference_hits} hits / {self.reference_misses} misses, "
+            f"timings: {self.timing_hits} hits / {self.timing_misses} misses"
+        )
+
+
+def input_token(inputs: Any) -> Hashable:
+    """A hashable fingerprint of an evaluation input.
+
+    Arrays are digested by content (shape, dtype, bytes); containers and
+    dataclasses recurse; plain hashables pass through.  Returns ``None``
+    when the object cannot be fingerprinted (the cache then falls back to
+    identity keying).
+    """
+    if isinstance(inputs, np.ndarray):
+        digest = hashlib.sha1()
+        digest.update(str(inputs.shape).encode())
+        digest.update(str(inputs.dtype).encode())
+        digest.update(np.ascontiguousarray(inputs).tobytes())
+        return ("ndarray", digest.hexdigest())
+    if dataclasses.is_dataclass(inputs) and not isinstance(inputs, type):
+        parts = tuple(
+            (f.name, input_token(getattr(inputs, f.name)))
+            for f in dataclasses.fields(inputs)
+        )
+        if any(token is None for _, token in parts):
+            return None
+        return (type(inputs).__name__, parts)
+    if isinstance(inputs, (tuple, list)):
+        parts = tuple(input_token(item) for item in inputs)
+        if any(token is None for token in parts):
+            return None
+        return ("sequence", parts)
+    if isinstance(inputs, (str, bytes, int, float, bool)) or inputs is None:
+        return ("scalar", inputs)
+    return None
+
+
+class ResultCache:
+    """Thread-safe store for reference outputs and timing estimates."""
+
+    def __init__(self, max_references: int | None = DEFAULT_MAX_REFERENCES) -> None:
+        self._lock = threading.Lock()
+        self.max_references = max_references
+        self._references: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self._timings: dict[Hashable, Any] = {}
+        self._reference_locks: dict[Hashable, threading.Lock] = {}
+        #: Inputs kept alive for identity keys, keyed by id() so repeat
+        #: lookups do not re-pin and eviction can release them.
+        self._pinned: dict[int, Any] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _reference_key(self, app_name: str, inputs: Any) -> Hashable:
+        token = input_token(inputs)
+        if token is None:
+            with self._lock:
+                self._pinned.setdefault(id(inputs), inputs)
+            token = ("identity", id(inputs))
+        return (app_name, token)
+
+    def reference(
+        self, app_name: str, inputs: Any, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """The accurate output for ``inputs``, computed at most once.
+
+        Concurrent requests for the same key block until the first one has
+        computed the value; requests for different keys do not serialise.
+        """
+        key = self._reference_key(app_name, inputs)
+        with self._lock:
+            if key in self._references:
+                self.stats.reference_hits += 1
+                self._references.move_to_end(key)
+                return self._references[key]
+            key_lock = self._reference_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._references:
+                    self.stats.reference_hits += 1
+                    self._references.move_to_end(key)
+                    return self._references[key]
+            value = np.asarray(compute())
+            # Cached references are shared between callers; freeze them so
+            # in-place mutation fails loudly instead of silently poisoning
+            # every later error computation against this input.
+            value.setflags(write=False)
+            with self._lock:
+                self._references[key] = value
+                self.stats.reference_misses += 1
+                while (
+                    self.max_references is not None
+                    and len(self._references) > self.max_references
+                ):
+                    evicted, _ = self._references.popitem(last=False)
+                    self._reference_locks.pop(evicted, None)
+                    _, evicted_token = evicted
+                    if (
+                        isinstance(evicted_token, tuple)
+                        and evicted_token
+                        and evicted_token[0] == "identity"
+                    ):
+                        self._pinned.pop(evicted_token[1], None)
+        return value
+
+    # ------------------------------------------------------------------
+    def timing(self, key: Hashable, compute: Callable[[], Any]):
+        """The timing estimate for ``key`` (cheap enough to compute under lock)."""
+        with self._lock:
+            if key in self._timings:
+                self.stats.timing_hits += 1
+                return self._timings[key]
+        value = compute()
+        with self._lock:
+            self._timings.setdefault(key, value)
+            self.stats.timing_misses += 1
+        return value
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all cached results (counters are reset too)."""
+        with self._lock:
+            self._references.clear()
+            self._timings.clear()
+            self._reference_locks.clear()
+            self._pinned.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._references) + len(self._timings)

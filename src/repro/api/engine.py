@@ -1,0 +1,454 @@
+"""The :class:`PerforationEngine` facade.
+
+The engine is the single entry point to the reproduction library: it owns
+the simulated :class:`~repro.clsim.device.Device`, the analytical
+:class:`~repro.clsim.timing.TimingModel`, a memoization cache for reference
+outputs and timing estimates (:mod:`repro.api.cache`) and an optional
+``concurrent.futures`` worker pool for parallel sweeps and dataset
+evaluation.  Applications, device profiles and perforation schemes are
+resolved by name through the package registries, so
+
+.. code-block:: python
+
+    from repro.api import PerforationEngine
+
+    engine = PerforationEngine(device="firepro-w5100", workers=4)
+    sweep = engine.session(app="gaussian").sweep()
+    tuned = engine.session(app="sobel3").autotune(error_budget=0.01)
+    record = tuned.run(image)
+
+works without importing a single application class.  The legacy free
+functions (:func:`repro.core.pipeline.evaluate_configuration` and friends)
+are deprecation shims over a per-call engine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from ..clsim.device import Device, get_device
+from ..clsim.timing import TimingBreakdown, TimingModel
+from ..core.config import (
+    ACCURATE_CONFIG,
+    ApproximationConfig,
+    WORK_GROUP_CANDIDATES,
+    default_configurations,
+)
+from ..core.errors import ConfigurationError, TuningError
+from ..core.pipeline import (
+    ConfigurationResult,
+    DatasetResult,
+    baseline_config_for,
+)
+from ..core.quality import ErrorSummary, compute_error
+from ..core.tuning import SweepPoint, SweepResult, WorkGroupTiming
+from .cache import CacheStats, ResultCache
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Cap applied to ``workers="auto"`` so small machines are not oversubscribed.
+AUTO_WORKER_CAP = 8
+
+
+def _auto_workers() -> int:
+    return max(1, min(AUTO_WORKER_CAP, os.cpu_count() or 1))
+
+
+class PerforationEngine:
+    """Session factory and evaluation backend for kernel perforation.
+
+    Parameters
+    ----------
+    device:
+        A :class:`Device`, a registered profile name (see
+        :func:`repro.clsim.device.available_devices`), or ``None`` for the
+        paper's FirePro W5100 profile.
+    workers:
+        Size of the worker pool used for sweeps and dataset evaluation.
+        ``1`` (the default) evaluates serially, ``"auto"`` sizes the pool
+        from the CPU count.  Parallel results are bit-for-bit identical to
+        serial ones — every evaluation is a pure function of its inputs.
+    cache:
+        ``True`` (default) for a fresh :class:`ResultCache`, ``False`` to
+        disable memoization entirely, or a ready-made :class:`ResultCache`
+        to share between engines.
+    """
+
+    def __init__(
+        self,
+        device: Device | str | None = None,
+        workers: int | str = 1,
+        cache: bool | ResultCache = True,
+    ) -> None:
+        if device is None:
+            device = get_device()
+        elif isinstance(device, str):
+            device = get_device(device)
+        self.device = device
+        self.timing_model = TimingModel(device)
+        if isinstance(cache, ResultCache):
+            self.cache: ResultCache | None = cache
+        else:
+            self.cache = ResultCache() if cache else None
+        if workers == "auto":
+            workers = _auto_workers()
+        if not isinstance(workers, int) or workers < 1:
+            raise ValueError(f"workers must be a positive integer or 'auto', got {workers!r}")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        self._apps: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Resolution and bookkeeping
+    # ------------------------------------------------------------------
+    def resolve_app(self, app):
+        """Resolve an application by registry name (instances pass through)."""
+        if isinstance(app, str):
+            cached = self._apps.get(app)
+            if cached is None:
+                from ..apps import get_application
+
+                cached = self._apps[app] = get_application(app)
+            return cached
+        return app
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the memoization cache."""
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def clear_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Order-preserving map over the worker pool (serial when workers=1)."""
+        if self.workers <= 1 or self._closed or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="perforation-engine"
+            )
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut down the worker pool; subsequent calls evaluate serially."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PerforationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def _app_cache_key(app) -> str:
+        """Cache key of an application: class identity plus name.
+
+        Keying by class (not just ``app.name``) keeps a subclass that
+        overrides ``reference``/``profile`` without renaming itself from
+        aliasing the stock application's cached results.  Instances of the
+        same class still share entries — applications are stateless.
+        """
+        cls = type(app)
+        return f"{cls.__module__}.{cls.__qualname__}:{app.name}"
+
+    # ------------------------------------------------------------------
+    # Cached primitives
+    # ------------------------------------------------------------------
+    def reference(self, app, inputs) -> np.ndarray:
+        """Accurate output of ``app`` for ``inputs`` (memoized by content).
+
+        The returned array is shared with the cache and marked read-only;
+        ``.copy()`` it before mutating.
+        """
+        app = self.resolve_app(app)
+        if self.cache is None:
+            return app.reference(inputs)
+        return self.cache.reference(
+            self._app_cache_key(app), inputs, lambda: app.reference(inputs)
+        )
+
+    def timing(
+        self, app, config: ApproximationConfig, global_size: tuple[int, int]
+    ) -> TimingBreakdown:
+        """Modelled timing of ``app`` under ``config`` (memoized)."""
+        app = self.resolve_app(app)
+
+        def compute() -> TimingBreakdown:
+            profile, ndrange = app.profile(config, global_size)
+            return self.timing_model.estimate(profile, ndrange)
+
+        if self.cache is None:
+            return compute()
+        return self.cache.timing(
+            (self._app_cache_key(app), config, global_size), compute
+        )
+
+    def baseline_timing(self, app, global_size: tuple[int, int]) -> TimingBreakdown:
+        """Timing of the accurate baseline the speedups are measured against."""
+        app = self.resolve_app(app)
+        return self.timing(app, baseline_config_for(app), global_size)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        app,
+        inputs,
+        config: ApproximationConfig,
+        reference: np.ndarray | None = None,
+    ) -> ConfigurationResult:
+        """Full pipeline of the paper's Figure 1b for one configuration."""
+        app = self.resolve_app(app)
+        config.validate_for_halo(app.halo)
+
+        if reference is None:
+            reference = self.reference(app, inputs)
+        approximate = app.approximate(inputs, config)
+        error = compute_error(reference, approximate, app.error_metric)
+
+        global_size = app.global_size(inputs)
+        baseline_timing = self.baseline_timing(app, global_size)
+        approx_timing = self.timing(app, config, global_size)
+
+        return ConfigurationResult(
+            app_name=app.name,
+            config=config,
+            error=error,
+            baseline_time_s=baseline_timing.total_time_s,
+            approx_time_s=approx_timing.total_time_s,
+            baseline_timing=baseline_timing,
+            approx_timing=approx_timing,
+        )
+
+    def evaluate_many(
+        self, app, inputs, configs: Iterable[ApproximationConfig]
+    ) -> list[ConfigurationResult]:
+        """Evaluate several configurations on one input (shared reference)."""
+        app = self.resolve_app(app)
+        configs = list(configs)
+        reference = self.reference(app, inputs)
+        return self._map(
+            lambda config: self.evaluate(app, inputs, config, reference=reference),
+            configs,
+        )
+
+    def evaluate_dataset(
+        self, app, dataset: Sequence, config: ApproximationConfig
+    ) -> DatasetResult:
+        """One configuration over a whole dataset (parallel over inputs).
+
+        ``dataset`` may be any sequence of inputs, including a NumPy array
+        whose first axis indexes the inputs.
+        """
+        if len(dataset) == 0:
+            raise ConfigurationError("dataset must contain at least one input")
+        app = self.resolve_app(app)
+        config.validate_for_halo(app.halo)
+
+        def one(inputs) -> float:
+            reference = self.reference(app, inputs)
+            approximate = app.approximate(inputs, config)
+            return compute_error(reference, approximate, app.error_metric)
+
+        errors = self._map(one, list(dataset))
+
+        global_size = app.global_size(dataset[0])
+        baseline_time = self.baseline_timing(app, global_size).total_time_s
+        approx_time = self.timing(app, config, global_size).total_time_s
+
+        return DatasetResult(
+            app_name=app.name,
+            config=config,
+            errors=tuple(errors),
+            summary=ErrorSummary.from_errors(errors),
+            speedup=baseline_time / approx_time,
+            baseline_time_s=baseline_time,
+            approx_time_s=approx_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        app,
+        inputs,
+        configs: Iterable[ApproximationConfig] | None = None,
+    ) -> SweepResult:
+        """Evaluate a set of configurations (default: the paper's four).
+
+        The accurate reference is computed once per input and shared by all
+        workers; point order follows configuration order regardless of the
+        worker count.
+        """
+        app = self.resolve_app(app)
+        if configs is None:
+            configs = default_configurations(app.halo)
+        evaluations = self.evaluate_many(app, inputs, configs)
+        result = SweepResult(app_name=app.name)
+        result.points.extend(
+            SweepPoint(
+                config=evaluation.config,
+                error=evaluation.error,
+                speedup=evaluation.speedup,
+                runtime_s=evaluation.approx_time_s,
+            )
+            for evaluation in evaluations
+        )
+        return result
+
+    def full_sweep(
+        self,
+        app,
+        inputs,
+        configs: Iterable[ApproximationConfig] | None = None,
+        work_groups: Sequence[tuple[int, int]] = WORK_GROUP_CANDIDATES,
+    ) -> SweepResult:
+        """Sweep configurations *and* work-group shapes jointly."""
+        app = self.resolve_app(app)
+        if configs is None:
+            configs = default_configurations(app.halo)
+        width, height = app.global_size(inputs)
+        expanded = [
+            config.with_work_group(work_group)
+            for config in configs
+            for work_group in work_groups
+            if width % work_group[0] == 0
+            and height % work_group[1] == 0
+            and work_group[0] * work_group[1] <= self.device.max_work_group_size
+        ]
+        return self.sweep(app, inputs, expanded)
+
+    def sweep_work_groups(
+        self,
+        app,
+        inputs,
+        configs: Sequence[ApproximationConfig],
+        work_groups: Sequence[tuple[int, int]] = WORK_GROUP_CANDIDATES,
+        include_baseline: bool = True,
+    ) -> list[WorkGroupTiming]:
+        """Timing of each configuration for each work-group shape (Figure 9).
+
+        Only the timing model runs — the error does not depend on the
+        work-group shape for row schemes — so this sweep is always serial;
+        the cached timings make it cheap.
+        """
+        app = self.resolve_app(app)
+        variants: list[tuple[str, ApproximationConfig]] = []
+        if include_baseline:
+            variants.append(("Baseline", ACCURATE_CONFIG))
+        variants.extend((config.label, config) for config in configs)
+
+        width, height = app.global_size(inputs)
+        results: list[WorkGroupTiming] = []
+        for label, config in variants:
+            for work_group in work_groups:
+                wx, wy = work_group
+                if width % wx != 0 or height % wy != 0:
+                    continue
+                if wx * wy > self.device.max_work_group_size:
+                    continue
+                if config.scheme.requires_halo() and app.halo == 0:
+                    continue
+                shaped = config.with_work_group(work_group)
+                timing = self.timing(app, shaped, (width, height))
+                results.append(
+                    WorkGroupTiming(
+                        work_group=work_group, variant=label, runtime_s=timing.total_time_s
+                    )
+                )
+        return results
+
+    def best_work_group(
+        self,
+        app,
+        inputs,
+        config: ApproximationConfig,
+        work_groups: Sequence[tuple[int, int]] = WORK_GROUP_CANDIDATES,
+    ) -> tuple[int, int]:
+        """Work-group shape minimising the modelled runtime of ``config``."""
+        app = self.resolve_app(app)
+        timings = self.sweep_work_groups(
+            app, inputs, [config], work_groups, include_baseline=False
+        )
+        if not timings:
+            raise TuningError(
+                f"no admissible work-group shape for {app.name!r} with {config.label}"
+            )
+        return min(timings, key=lambda t: t.runtime_s).work_group
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        app,
+        *,
+        configs: Iterable[ApproximationConfig] | None = None,
+        inputs=None,
+        error_budget: float | None = None,
+        safety_margin: float = 0.25,
+    ):
+        """Open a fluent :class:`~repro.api.session.Session` for one application.
+
+        ``app`` is an :class:`~repro.apps.base.Application` instance or a
+        registered name (``"gaussian"``, ``"sobel3"``, ...).
+        """
+        from .session import Session
+
+        return Session(
+            engine=self,
+            app=self.resolve_app(app),
+            configs=configs,
+            inputs=inputs,
+            error_budget=error_budget,
+            safety_margin=safety_margin,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PerforationEngine device={self.device.name!r} workers={self.workers} "
+            f"cache={'on' if self.cache is not None else 'off'}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared engines for the legacy free-function shims
+# ---------------------------------------------------------------------------
+_shared_engines: dict[Device, PerforationEngine] = {}
+_shared_lock = threading.Lock()
+
+
+def shared_engine(device: Device | str | None = None) -> PerforationEngine:
+    """A process-wide serial engine per device value.
+
+    The deprecated free functions (:func:`repro.core.pipeline.evaluate_configuration`
+    and friends) route through this helper so that repeated calls against
+    the same device still benefit from the reference/timing cache.
+    :class:`Device` is a frozen value type, so equal devices share an engine.
+    """
+    if device is None:
+        device = get_device()
+    elif isinstance(device, str):
+        device = get_device(device)
+    with _shared_lock:
+        engine = _shared_engines.get(device)
+        if engine is None:
+            engine = _shared_engines[device] = PerforationEngine(device=device)
+        return engine

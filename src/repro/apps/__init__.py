@@ -16,6 +16,9 @@ Sobel5      Image processing      Mean error
 
 from __future__ import annotations
 
+from typing import Callable
+
+from ..api.registry import Registry
 from .base import Application, InputBufferSpec
 from .gaussian import GAUSSIAN_WEIGHTS, GaussianApp
 from .hotspot import HotspotApp, HotspotCoefficients
@@ -23,15 +26,13 @@ from .inversion import INVERSION_MAX, InversionApp
 from .median import MedianApp
 from .sobel import SOBEL3_GX, SOBEL3_GY, SOBEL5_GX, SOBEL5_GY, Sobel3App, Sobel5App
 
-#: Factory functions for every benchmark, keyed by name.
-_APP_FACTORIES = {
-    "gaussian": GaussianApp,
-    "inversion": InversionApp,
-    "median": MedianApp,
-    "hotspot": HotspotApp,
-    "sobel3": Sobel3App,
-    "sobel5": Sobel5App,
-}
+#: Registry of application factories, keyed by name.  Third-party apps can
+#: add themselves via :func:`register_application` and are then resolvable
+#: by every engine: ``PerforationEngine().session(app="my-filter")``.
+APPLICATIONS: Registry[Callable[[], Application]] = Registry("application", error=KeyError)
+
+for _factory in (GaussianApp, InversionApp, MedianApp, HotspotApp, Sobel3App, Sobel5App):
+    APPLICATIONS.register(_factory.name, _factory)
 
 #: Applications whose input is a single grayscale image.
 IMAGE_APPS = ("gaussian", "inversion", "median", "sobel3", "sobel5")
@@ -40,20 +41,25 @@ IMAGE_APPS = ("gaussian", "inversion", "median", "sobel3", "sobel5")
 TABLE1_ORDER = ("gaussian", "median", "hotspot", "inversion", "sobel3", "sobel5")
 
 
+def register_application(
+    name: str, factory: Callable[[], Application] | None = None, *, overwrite: bool = False
+):
+    """Register an application factory under ``name``.
+
+    Usable directly (``register_application("x", XApp)``) or as a class
+    decorator (``@register_application("x")``).
+    """
+    return APPLICATIONS.register(name, factory, overwrite=overwrite)
+
+
 def available_applications() -> list[str]:
-    """Names of all benchmark applications."""
-    return sorted(_APP_FACTORIES)
+    """Names of all registered applications."""
+    return APPLICATIONS.names()
 
 
 def get_application(name: str) -> Application:
-    """Instantiate a benchmark application by name."""
-    try:
-        factory = _APP_FACTORIES[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown application {name!r}; available: {available_applications()}"
-        ) from exc
-    return factory()
+    """Instantiate a registered application by name."""
+    return APPLICATIONS.get(name)()
 
 
 def all_applications() -> list[Application]:
@@ -62,6 +68,7 @@ def all_applications() -> list[Application]:
 
 
 __all__ = [
+    "APPLICATIONS",
     "Application",
     "GAUSSIAN_WEIGHTS",
     "GaussianApp",
@@ -82,4 +89,5 @@ __all__ = [
     "all_applications",
     "available_applications",
     "get_application",
+    "register_application",
 ]

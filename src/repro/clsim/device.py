@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..api.registry import Registry
 from .errors import InvalidDeviceError
 
 #: Bytes fetched by one global-memory transaction (DRAM burst / cache line).
@@ -220,30 +221,36 @@ def low_bandwidth_igpu() -> Device:
     )
 
 
-_REGISTRY = {
-    "firepro-w5100": firepro_w5100,
-    "generic-hbm": generic_hbm_gpu,
-    "low-bandwidth-igpu": low_bandwidth_igpu,
-}
+#: Registry of device-profile factories.  New profiles can be added with
+#: :func:`register_device` and are then resolvable by every engine:
+#: ``PerforationEngine(device="my-gpu")``.
+DEVICE_PROFILES: Registry = Registry("device profile", error=InvalidDeviceError)
+
+DEVICE_PROFILES.register("firepro-w5100", firepro_w5100)
+DEVICE_PROFILES.register("generic-hbm", generic_hbm_gpu)
+DEVICE_PROFILES.register("low-bandwidth-igpu", low_bandwidth_igpu)
+
+
+def register_device(name: str, factory=None, *, overwrite: bool = False):
+    """Register a device-profile factory under ``name``.
+
+    Usable directly (``register_device("my-gpu", make_gpu)``) or as a
+    decorator (``@register_device("my-gpu")``).
+    """
+    return DEVICE_PROFILES.register(name, factory, overwrite=overwrite)
 
 
 def available_devices() -> list[str]:
-    """Names of the built-in device profiles."""
-    return sorted(_REGISTRY)
+    """Names of the registered device profiles."""
+    return DEVICE_PROFILES.names()
 
 
 def get_device(name: str = "firepro-w5100") -> Device:
-    """Look up a built-in device profile by name.
+    """Look up a registered device profile by name.
 
     Raises
     ------
     InvalidDeviceError
         If ``name`` is not a known profile.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError as exc:
-        raise InvalidDeviceError(
-            f"unknown device profile {name!r}; available: {available_devices()}"
-        ) from exc
-    return factory()
+    return DEVICE_PROFILES.get(name)()

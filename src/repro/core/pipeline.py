@@ -9,21 +9,27 @@ supplies the runtime of both versions to obtain the speedup.
 Applications are duck-typed; :class:`repro.apps.base.Application` provides
 the expected interface (``reference``, ``approximate``, ``profile``,
 ``global_size``, ``error_metric``, ``baseline_work_group``).
+
+.. deprecated::
+    The free functions (:func:`evaluate_configuration`,
+    :func:`evaluate_dataset`, :func:`evaluate_many`) are deprecation shims
+    over :class:`repro.api.PerforationEngine`, which adds result caching
+    and parallel sweeps.  The result dataclasses defined here remain the
+    canonical return types.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..clsim.device import Device, firepro_w5100
-from ..clsim.ndrange import NDRange
-from ..clsim.timing import TimingBreakdown, TimingModel
+from ..clsim.device import Device
+from ..clsim.timing import TimingBreakdown
 from .config import ACCURATE_CONFIG, ApproximationConfig
-from .errors import ConfigurationError
-from .quality import ErrorSummary, compute_error
+from .quality import ErrorSummary
 
 
 @dataclass(frozen=True)
@@ -82,15 +88,23 @@ def timing_for(
     app, config: ApproximationConfig, inputs, device: Device | None = None
 ) -> TimingBreakdown:
     """Modelled runtime of ``app`` under ``config`` for the given inputs."""
-    device = device or firepro_w5100()
-    model = TimingModel(device)
-    profile, ndrange = app.profile(config, app.global_size(inputs))
-    return model.estimate(profile, ndrange)
+    from ..api.engine import shared_engine
+
+    engine = shared_engine(device)
+    return engine.timing(app, config, app.global_size(inputs))
 
 
 def baseline_config_for(app) -> ApproximationConfig:
     """The accurate configuration the speedups are measured against."""
     return ACCURATE_CONFIG.with_work_group(app.baseline_work_group)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def evaluate_configuration(
@@ -104,31 +118,13 @@ def evaluate_configuration(
 
     ``reference`` may be supplied to avoid recomputing the accurate output
     when sweeping many configurations over the same input.
+
+    .. deprecated:: Use :meth:`repro.api.PerforationEngine.evaluate`.
     """
-    device = device or firepro_w5100()
-    config.validate_for_halo(app.halo)
-    model = TimingModel(device)
+    from ..api.engine import shared_engine
 
-    if reference is None:
-        reference = app.reference(inputs)
-    approximate = app.approximate(inputs, config)
-    error = compute_error(reference, approximate, app.error_metric)
-
-    global_size = app.global_size(inputs)
-    base_profile, base_nd = app.profile(baseline_config_for(app), global_size)
-    approx_profile, approx_nd = app.profile(config, global_size)
-    baseline_timing = model.estimate(base_profile, base_nd)
-    approx_timing = model.estimate(approx_profile, approx_nd)
-
-    return ConfigurationResult(
-        app_name=app.name,
-        config=config,
-        error=error,
-        baseline_time_s=baseline_timing.total_time_s,
-        approx_time_s=approx_timing.total_time_s,
-        baseline_timing=baseline_timing,
-        approx_timing=approx_timing,
-    )
+    _deprecated("evaluate_configuration()", "PerforationEngine.evaluate()")
+    return shared_engine(device).evaluate(app, inputs, config, reference=reference)
 
 
 def evaluate_dataset(
@@ -141,32 +137,13 @@ def evaluate_dataset(
 
     The error is computed per input; the speedup is computed once (it
     depends only on the configuration, as the paper notes in Section 6.2).
+
+    .. deprecated:: Use :meth:`repro.api.PerforationEngine.evaluate_dataset`.
     """
-    if not dataset:
-        raise ConfigurationError("dataset must contain at least one input")
-    device = device or firepro_w5100()
-    errors: list[float] = []
-    for inputs in dataset:
-        reference = app.reference(inputs)
-        approximate = app.approximate(inputs, config)
-        errors.append(compute_error(reference, approximate, app.error_metric))
+    from ..api.engine import shared_engine
 
-    model = TimingModel(device)
-    global_size = app.global_size(dataset[0])
-    base_profile, base_nd = app.profile(baseline_config_for(app), global_size)
-    approx_profile, approx_nd = app.profile(config, global_size)
-    baseline_time = model.estimate(base_profile, base_nd).total_time_s
-    approx_time = model.estimate(approx_profile, approx_nd).total_time_s
-
-    return DatasetResult(
-        app_name=app.name,
-        config=config,
-        errors=tuple(errors),
-        summary=ErrorSummary.from_errors(errors),
-        speedup=baseline_time / approx_time,
-        baseline_time_s=baseline_time,
-        approx_time_s=approx_time,
-    )
+    _deprecated("evaluate_dataset()", "PerforationEngine.evaluate_dataset()")
+    return shared_engine(device).evaluate_dataset(app, dataset, config)
 
 
 def evaluate_many(
@@ -175,12 +152,11 @@ def evaluate_many(
     configs: Iterable[ApproximationConfig],
     device: Device | None = None,
 ) -> list[ConfigurationResult]:
-    """Evaluate several configurations on the same input (shared reference)."""
-    device = device or firepro_w5100()
-    reference = app.reference(inputs)
-    results = []
-    for config in configs:
-        results.append(
-            evaluate_configuration(app, inputs, config, device=device, reference=reference)
-        )
-    return results
+    """Evaluate several configurations on the same input (shared reference).
+
+    .. deprecated:: Use :meth:`repro.api.PerforationEngine.evaluate_many`.
+    """
+    from ..api.engine import shared_engine
+
+    _deprecated("evaluate_many()", "PerforationEngine.evaluate_many()")
+    return shared_engine(device).evaluate_many(app, inputs, configs)

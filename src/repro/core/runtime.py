@@ -1,61 +1,42 @@
-"""Quality-aware runtime.
+"""Quality-aware runtime (deprecation shim).
 
-The paper's conclusion sketches a library that "can automatically apply and
-tune the technique to approximable kernels" — the same role the runtime
-helper plays in Paraprox: given a target output quality, pick the kernel
-variant that meets it at the highest speedup.  :class:`QualityAwareRuntime`
-implements that loop on top of the tuning machinery:
+The quality-aware loop — *calibrate* candidate configurations on
+representative inputs, *select* the fastest one expected to meet an error
+budget, *execute* new inputs with it while optionally monitoring the
+achieved quality — now lives in the fluent session API:
 
-1. *calibrate* on a (small) set of representative inputs, measuring the
-   error of every candidate configuration and the modelled runtime;
-2. *select* the fastest configuration whose calibrated error (plus a safety
-   margin) stays within the user's error budget;
-3. *execute* new inputs with the selected configuration, optionally
-   monitoring the achieved quality and falling back to a more accurate
-   configuration when the budget is violated.
+.. code-block:: python
+
+    from repro.api import PerforationEngine
+
+    session = PerforationEngine().session(app="gaussian")
+    session.autotune(error_budget=0.05, calibration_inputs=images)
+    record = session.run(new_image, monitor=True)
+
+:class:`QualityAwareRuntime` remains as a thin, deprecated wrapper over
+:class:`repro.api.session.Session` so existing code keeps working; the
+:class:`CalibrationEntry` and :class:`ExecutionRecord` dataclasses are
+re-exported from their new home in :mod:`repro.api.session`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Iterable, Sequence
 
-import numpy as np
-
-from ..clsim.device import Device, firepro_w5100
-from .config import ACCURATE_CONFIG, ApproximationConfig, default_configurations
+from ..api.session import CalibrationEntry, ExecutionRecord
+from ..clsim.device import Device
+from .config import ApproximationConfig, default_configurations
 from .errors import TuningError
-from .pipeline import evaluate_configuration
-from .quality import compute_error
-from .tuning import SweepPoint, SweepResult, sweep_configurations
 
-
-@dataclass(frozen=True)
-class CalibrationEntry:
-    """Calibrated statistics of one configuration."""
-
-    config: ApproximationConfig
-    mean_error: float
-    max_error: float
-    speedup: float
-
-    def admissible(self, budget: float, safety_margin: float) -> bool:
-        """Whether this configuration is expected to meet ``budget``."""
-        return self.mean_error * (1.0 + safety_margin) <= budget
-
-
-@dataclass
-class ExecutionRecord:
-    """Outcome of one monitored execution."""
-
-    config: ApproximationConfig
-    error: float | None
-    within_budget: bool
-    output: np.ndarray
+__all__ = ["CalibrationEntry", "ExecutionRecord", "QualityAwareRuntime"]
 
 
 class QualityAwareRuntime:
-    """Selects and applies perforation configurations under an error budget."""
+    """Selects and applies perforation configurations under an error budget.
+
+    .. deprecated:: Use ``engine.session(app).autotune(error_budget=...)``.
+    """
 
     def __init__(
         self,
@@ -65,117 +46,94 @@ class QualityAwareRuntime:
         safety_margin: float = 0.25,
         configs: Iterable[ApproximationConfig] | None = None,
     ) -> None:
+        warnings.warn(
+            "QualityAwareRuntime is deprecated; use "
+            "PerforationEngine().session(app).autotune(error_budget=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if error_budget <= 0:
             raise TuningError("error budget must be positive")
-        self.app = app
-        self.error_budget = error_budget
-        self.device = device or firepro_w5100()
-        self.safety_margin = safety_margin
-        self.configs = list(configs) if configs is not None else default_configurations(app.halo)
-        self.calibration: list[CalibrationEntry] = []
-        self.selected: ApproximationConfig = ACCURATE_CONFIG
-        self.history: list[ExecutionRecord] = []
+        from ..api.engine import PerforationEngine
+
+        self._engine = PerforationEngine(device=device)
+        self._session = self._engine.session(
+            app,
+            configs=list(configs) if configs is not None else default_configurations(app.halo),
+            error_budget=error_budget,
+            safety_margin=safety_margin,
+        )
+
+    # ------------------------------------------------------------------
+    # Attribute surface of the original class, proxied to the session.
+    # ------------------------------------------------------------------
+    @property
+    def app(self):
+        return self._session.app
+
+    @property
+    def error_budget(self) -> float:
+        return self._session.error_budget
+
+    @error_budget.setter
+    def error_budget(self, value: float) -> None:
+        self._session.error_budget = value
+
+    @property
+    def device(self) -> Device:
+        return self._engine.device
+
+    @property
+    def safety_margin(self) -> float:
+        return self._session.safety_margin
+
+    @safety_margin.setter
+    def safety_margin(self, value: float) -> None:
+        self._session.safety_margin = value
+
+    @property
+    def configs(self) -> list[ApproximationConfig]:
+        return self._session.configs
+
+    @configs.setter
+    def configs(self, value) -> None:
+        self._session.configs = list(value)
+
+    @property
+    def calibration(self) -> list[CalibrationEntry]:
+        return self._session.calibration
+
+    @calibration.setter
+    def calibration(self, value) -> None:
+        self._session.calibration = list(value)
+
+    @property
+    def selected(self) -> ApproximationConfig:
+        return self._session.selected
+
+    @selected.setter
+    def selected(self, value: ApproximationConfig) -> None:
+        self._session.selected = value
+
+    @property
+    def history(self) -> list[ExecutionRecord]:
+        return self._session.history
 
     # ------------------------------------------------------------------
     def calibrate(self, calibration_inputs: Sequence) -> list[CalibrationEntry]:
         """Measure error/speedup of every candidate on the calibration inputs."""
-        if not calibration_inputs:
+        if len(calibration_inputs) == 0:
             raise TuningError("calibration requires at least one input")
-        per_config: dict[str, list[SweepPoint]] = {}
-        for inputs in calibration_inputs:
-            sweep: SweepResult = sweep_configurations(
-                self.app, inputs, self.configs, device=self.device
-            )
-            for point in sweep.points:
-                per_config.setdefault(point.config.label, []).append(point)
-
-        self.calibration = []
-        for label, points in per_config.items():
-            errors = [p.error for p in points]
-            self.calibration.append(
-                CalibrationEntry(
-                    config=points[0].config,
-                    mean_error=float(np.mean(errors)),
-                    max_error=float(np.max(errors)),
-                    speedup=points[0].speedup,
-                )
-            )
-        self.calibration.sort(key=lambda e: e.speedup, reverse=True)
-        self.selected = self.select()
-        return self.calibration
+        return self._session.calibrate(calibration_inputs)
 
     def select(self) -> ApproximationConfig:
-        """Fastest calibrated configuration expected to meet the budget.
+        """Fastest calibrated configuration expected to meet the budget."""
+        return self._session.select()
 
-        Falls back to the accurate configuration when nothing qualifies.
-        """
-        if not self.calibration:
-            raise TuningError("calibrate() must be called before select()")
-        for entry in self.calibration:  # sorted fastest-first
-            if entry.admissible(self.error_budget, self.safety_margin):
-                return entry.config
-        return ACCURATE_CONFIG
-
-    # ------------------------------------------------------------------
     def execute(self, inputs, monitor: bool = False) -> ExecutionRecord:
-        """Run the application on ``inputs`` with the selected configuration.
+        """Run the application on ``inputs`` with the selected configuration."""
+        return self._session.run(inputs, monitor=monitor)
 
-        With ``monitor=True`` the accurate output is also computed, the
-        achieved error recorded, and the configuration demoted to a more
-        accurate one when the budget was violated (mirroring the
-        recalibration loop of quality-aware runtimes such as SAGE).
-        """
-        config = self.selected
-        if config.is_accurate:
-            output = self.app.reference(inputs)
-            record = ExecutionRecord(config=config, error=0.0, within_budget=True, output=output)
-            self.history.append(record)
-            return record
-
-        output = self.app.approximate(inputs, config)
-        error = None
-        within = True
-        if monitor:
-            reference = self.app.reference(inputs)
-            error = compute_error(reference, output, self.app.error_metric)
-            within = error <= self.error_budget
-            if not within:
-                self._demote(config)
-        record = ExecutionRecord(config=config, error=error, within_budget=within, output=output)
-        self.history.append(record)
-        return record
-
-    def _demote(self, config: ApproximationConfig) -> None:
-        """Switch to the next more accurate calibrated configuration."""
-        more_accurate = [
-            entry
-            for entry in sorted(self.calibration, key=lambda e: e.mean_error)
-            if entry.config.label != config.label
-        ]
-        for entry in more_accurate:
-            if entry.mean_error < self._calibrated_error(config):
-                self.selected = entry.config
-                return
-        self.selected = ACCURATE_CONFIG
-
-    def _calibrated_error(self, config: ApproximationConfig) -> float:
-        for entry in self.calibration:
-            if entry.config.label == config.label:
-                return entry.mean_error
-        return float("inf")
-
-    # ------------------------------------------------------------------
     def report(self) -> str:
         """Human-readable calibration + selection summary."""
-        lines = [
-            f"Quality-aware runtime for {self.app.name!r} "
-            f"(budget {self.error_budget:.2%}, margin {self.safety_margin:.0%})"
-        ]
-        for entry in self.calibration:
-            marker = "*" if entry.config.label == self.selected.label else " "
-            lines.append(
-                f" {marker} {entry.config.label:<14s} mean err {entry.mean_error * 100:6.2f}%  "
-                f"max err {entry.max_error * 100:6.2f}%  speedup {entry.speedup:5.2f}x"
-            )
-        lines.append(f"selected: {self.selected.label}")
-        return "\n".join(lines)
+        return self._session.report()

@@ -10,19 +10,14 @@ experiments and is also the backend of the quality-aware runtime
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..clsim.device import Device, firepro_w5100
-from .config import (
-    ACCURATE_CONFIG,
-    ApproximationConfig,
-    WORK_GROUP_CANDIDATES,
-    default_configurations,
-)
+from ..clsim.device import Device
+from .config import ApproximationConfig, WORK_GROUP_CANDIDATES
 from .errors import TuningError
 from .pareto import pareto_front
-from .pipeline import ConfigurationResult, evaluate_configuration, timing_for
 
 
 @dataclass(frozen=True)
@@ -85,25 +80,20 @@ def sweep_configurations(
     configs: Iterable[ApproximationConfig] | None = None,
     device: Device | None = None,
 ) -> SweepResult:
-    """Evaluate a set of configurations (default: the paper's four) on one input."""
-    device = device or firepro_w5100()
-    if configs is None:
-        configs = default_configurations(app.halo)
-    result = SweepResult(app_name=app.name)
-    reference = app.reference(inputs)
-    for config in configs:
-        evaluation = evaluate_configuration(
-            app, inputs, config, device=device, reference=reference
-        )
-        result.points.append(
-            SweepPoint(
-                config=config,
-                error=evaluation.error,
-                speedup=evaluation.speedup,
-                runtime_s=evaluation.approx_time_s,
-            )
-        )
-    return result
+    """Evaluate a set of configurations (default: the paper's four) on one input.
+
+    .. deprecated:: Use :meth:`repro.api.PerforationEngine.sweep` (or
+        ``engine.session(app).sweep()``), which shares cached references
+        and can evaluate configurations on parallel workers.
+    """
+    from ..api.engine import shared_engine
+
+    warnings.warn(
+        "sweep_configurations() is deprecated; use PerforationEngine.sweep() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return shared_engine(device).sweep(app, inputs, configs)
 
 
 @dataclass(frozen=True)
@@ -129,31 +119,11 @@ def sweep_work_groups(
     work-group shape for row schemes, and only marginally for the stencil
     scheme, so the functional path is not re-run.
     """
-    device = device or firepro_w5100()
-    results: list[WorkGroupTiming] = []
-    variants: list[tuple[str, ApproximationConfig]] = []
-    if include_baseline:
-        variants.append(("Baseline", ACCURATE_CONFIG))
-    variants.extend((c.label, c) for c in configs)
+    from ..api.engine import shared_engine
 
-    width, height = app.global_size(inputs)
-    for label, config in variants:
-        for work_group in work_groups:
-            wx, wy = work_group
-            if width % wx != 0 or height % wy != 0:
-                continue
-            if wx * wy > device.max_work_group_size:
-                continue
-            if config.scheme.requires_halo() and app.halo == 0:
-                continue
-            shaped = config.with_work_group(work_group)
-            timing = timing_for(app, shaped, inputs, device=device)
-            results.append(
-                WorkGroupTiming(
-                    work_group=work_group, variant=label, runtime_s=timing.total_time_s
-                )
-            )
-    return results
+    return shared_engine(device).sweep_work_groups(
+        app, inputs, list(configs), work_groups, include_baseline
+    )
 
 
 def best_work_group(
@@ -168,15 +138,9 @@ def best_work_group(
     The paper's observation (Section 6.3) is that this optimum differs
     between the accurate baseline and the approximate kernels.
     """
-    timings = sweep_work_groups(
-        app, inputs, [config], work_groups, device=device, include_baseline=False
-    )
-    if not timings:
-        raise TuningError(
-            f"no admissible work-group shape for {app.name!r} with {config.label}"
-        )
-    best = min(timings, key=lambda t: t.runtime_s)
-    return best.work_group
+    from ..api.engine import shared_engine
+
+    return shared_engine(device).best_work_group(app, inputs, config, work_groups)
 
 
 def full_sweep(
@@ -191,17 +155,6 @@ def full_sweep(
     This is the search space the paper's envisioned auto-tuning library
     would explore; the quality-aware runtime uses it for calibration.
     """
-    device = device or firepro_w5100()
-    if configs is None:
-        configs = default_configurations(app.halo)
-    expanded: list[ApproximationConfig] = []
-    width, height = app.global_size(inputs)
-    for config in configs:
-        for work_group in work_groups:
-            wx, wy = work_group
-            if width % wx != 0 or height % wy != 0:
-                continue
-            if wx * wy > device.max_work_group_size:
-                continue
-            expanded.append(config.with_work_group(work_group))
-    return sweep_configurations(app, inputs, expanded, device=device)
+    from ..api.engine import shared_engine
+
+    return shared_engine(device).full_sweep(app, inputs, configs, work_groups)

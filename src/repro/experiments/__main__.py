@@ -20,7 +20,22 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .common import make_engine
 from .report import available_experiments, run_all, run_experiment, write_report
+
+
+def _workers_arg(value: str):
+    if value == "auto":
+        return value
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be positive, got {workers}")
+    return workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,19 +58,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Markdown report to this path instead of printing",
     )
+    parser.add_argument(
+        "--workers",
+        default="auto",
+        type=_workers_arg,
+        help="engine worker-pool size for parallel sweeps (positive integer or 'auto')",
+    )
+    parser.add_argument(
+        "--device",
+        default=None,
+        help="device profile to simulate (see repro.clsim.device.available_devices)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    engine = make_engine(device=args.device, workers=args.workers)
     if args.experiment == "all":
         if args.output:
-            path = write_report(args.output, quick=args.quick)
+            path = write_report(args.output, quick=args.quick, engine=engine)
             print(f"report written to {path}")
         else:
-            print(run_all(quick=args.quick))
+            print(run_all(quick=args.quick, engine=engine))
         return 0
-    print(run_experiment(args.experiment, quick=args.quick))
+    print(run_experiment(args.experiment, quick=args.quick, engine=engine))
     return 0
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..api.engine import PerforationEngine
 from ..apps import get_application
 from ..clsim.device import Device, firepro_w5100
 from ..core.config import ApproximationConfig, ROWS1_NN, STENCIL1_NN
@@ -77,6 +78,19 @@ class ExperimentSettings:
 def default_device() -> Device:
     """The simulated device all experiments run on."""
     return firepro_w5100()
+
+
+def make_engine(
+    device: Device | str | None = None, workers: int | str = "auto"
+) -> PerforationEngine:
+    """The engine the experiment harnesses run on.
+
+    One engine is shared across an experiment (or a whole report run): its
+    reference/timing cache deduplicates work between figures, and its
+    worker pool evaluates sweep configurations and dataset inputs in
+    parallel.  Results are bit-for-bit identical for any worker count.
+    """
+    return PerforationEngine(device=device or default_device(), workers=workers)
 
 
 def app_for(name: str):

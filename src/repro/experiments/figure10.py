@@ -13,18 +13,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.engine import PerforationEngine
 from ..baselines.paraprox import PARAPROX_SCHEMES, evaluate_all_schemes
 from ..core.config import ROWS1_NN, STENCIL1_NN
 from ..core.pareto import pareto_front
-from ..core.pipeline import evaluate_many
 from ..data import single_image
 from ..data.images import ImageClass
 from .common import (
     ExperimentSettings,
     PARAMETRIZATION_APPS,
-    app_for,
-    default_device,
     format_table,
+    make_engine,
     percent,
     times,
 )
@@ -49,12 +48,13 @@ class Figure10Result:
     settings: ExperimentSettings
 
 
-def _collect_points(app, image, device) -> list[ParetoPoint]:
+def _collect_points(session, image) -> list[ParetoPoint]:
+    app = session.app
     points: list[ParetoPoint] = [
         ParetoPoint(label="Accurate", family="accurate", speedup=1.0, error=0.0)
     ]
     our_configs = [ROWS1_NN] if app.halo == 0 else [STENCIL1_NN, ROWS1_NN]
-    for result in evaluate_many(app, image, our_configs, device=device):
+    for result in session.evaluate_many(image, our_configs):
         points.append(
             ParetoPoint(
                 label=result.config.label,
@@ -63,7 +63,9 @@ def _collect_points(app, image, device) -> list[ParetoPoint]:
                 error=result.error,
             )
         )
-    for result in evaluate_all_schemes(app, image, device=device, schemes=PARAPROX_SCHEMES):
+    for result in evaluate_all_schemes(
+        app, image, device=session.engine.device, schemes=PARAPROX_SCHEMES
+    ):
         points.append(
             ParetoPoint(
                 label=result.label,
@@ -90,12 +92,15 @@ def run(
     quick: bool = False,
     image_size: int | None = None,
     apps: tuple[str, ...] = PARAMETRIZATION_APPS,
+    engine: PerforationEngine | None = None,
 ) -> Figure10Result:
     """Run the Figure 10 experiment."""
     settings = ExperimentSettings.for_mode(quick=quick, image_size=image_size)
-    device = default_device()
+    engine = engine or make_engine()
     image = single_image(ImageClass.NATURAL, size=settings.image_size, seed=42)
-    points = {name: _collect_points(app_for(name), image, device) for name in apps}
+    points = {
+        name: _collect_points(engine.session(app=name), image) for name in apps
+    }
     return Figure10Result(points=points, settings=settings)
 
 

@@ -12,14 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.pipeline import DatasetResult, evaluate_dataset
+from ..api.engine import PerforationEngine
+from ..core.pipeline import DatasetResult
 from ..data import hotspot_suite, image_arrays
 from .common import (
     ExperimentSettings,
     FIGURE6_CONFIGS,
-    app_for,
-    default_device,
     format_table,
+    make_engine,
     percent,
     times,
 )
@@ -51,21 +51,21 @@ def run(
     image_size: int | None = None,
     image_count: int | None = None,
     apps: tuple[str, ...] = FIGURE6_APPS,
+    engine: PerforationEngine | None = None,
 ) -> Figure6Result:
     """Run the Figure 6 experiment."""
     settings = ExperimentSettings.for_mode(quick=quick, image_size=image_size)
     count = image_count if image_count is not None else settings.image_count
-    device = default_device()
+    engine = engine or make_engine()
 
     images = image_arrays(count=count, size=settings.image_size)
     hotspot_inputs = list(hotspot_suite(max_size=settings.hotspot_max_size))
 
     per_app: dict[str, DatasetResult] = {}
     for name in apps:
-        app = app_for(name)
         config = FIGURE6_CONFIGS[name]
         dataset = hotspot_inputs if name == "hotspot" else images
-        per_app[name] = evaluate_dataset(app, dataset, config, device=device)
+        per_app[name] = engine.session(app=name).evaluate_dataset(dataset, config)
     return Figure6Result(per_app=per_app, settings=settings)
 
 

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.engine import PerforationEngine
 from ..core.config import ApproximationConfig, ROWS1_NN
-from ..core.pipeline import evaluate_configuration
 from ..data import figure7_examples
 from ..data.images import ImageClass
-from .common import ExperimentSettings, app_for, default_device, format_table, percent
+from .common import ExperimentSettings, format_table, make_engine, percent
 
 #: Errors the paper reports for its three example images.
 PAPER_ERRORS = {
@@ -40,14 +40,15 @@ def run(
     image_size: int | None = None,
     app_name: str = "median",
     config: ApproximationConfig = ROWS1_NN,
+    engine: PerforationEngine | None = None,
 ) -> Figure7Result:
     """Run the Figure 7 experiment (Median on one image per class)."""
     settings = ExperimentSettings.for_mode(quick=quick, image_size=image_size)
-    device = default_device()
-    app = app_for(app_name)
+    engine = engine or make_engine()
+    session = engine.session(app=app_name)
     examples = figure7_examples(size=settings.image_size)
     errors = {
-        image_class: evaluate_configuration(app, image, config, device=device).error
+        image_class: session.evaluate(image, config).error
         for image_class, image in examples.items()
     }
     return Figure7Result(app_name=app_name, config=config, errors=errors, settings=settings)

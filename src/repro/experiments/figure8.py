@@ -15,16 +15,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.engine import PerforationEngine
 from ..core.config import FIGURE8_CONFIGS, ApproximationConfig
-from ..core.tuning import SweepResult, sweep_configurations
+from ..core.tuning import SweepResult
 from ..data import single_image
 from ..data.images import ImageClass
 from .common import (
     ExperimentSettings,
     PARAMETRIZATION_APPS,
-    app_for,
-    default_device,
     format_table,
+    make_engine,
     milliseconds,
     percent,
 )
@@ -54,18 +54,21 @@ def run(
     image_size: int | None = None,
     apps: tuple[str, ...] = PARAMETRIZATION_APPS,
     configs: tuple[ApproximationConfig, ...] = FIGURE8_CONFIGS,
+    engine: PerforationEngine | None = None,
 ) -> Figure8Result:
     """Run the Figure 8 experiment."""
     settings = ExperimentSettings.for_mode(quick=quick, image_size=image_size)
-    device = default_device()
+    engine = engine or make_engine()
     image = single_image(ImageClass.NATURAL, size=settings.image_size, seed=42)
 
     sweeps: dict[str, SweepResult] = {}
     reductions: dict[str, float] = {}
     for name in apps:
-        app = app_for(name)
-        applicable = [c for c in configs if not (c.scheme.requires_halo() and app.halo == 0)]
-        sweep = sweep_configurations(app, image, applicable, device=device)
+        session = engine.session(app=name).with_inputs(image)
+        applicable = [
+            c for c in configs if not (c.scheme.requires_halo() and session.app.halo == 0)
+        ]
+        sweep = session.sweep(configs=applicable)
         sweeps[name] = sweep
         reductions[name] = _li_reduction(sweep)
     return Figure8Result(sweeps=sweeps, li_error_reduction=reductions, settings=settings)

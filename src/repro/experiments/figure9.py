@@ -14,16 +14,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.engine import PerforationEngine
 from ..core.config import ROWS1_NN, STENCIL1_NN, WORK_GROUP_CANDIDATES
-from ..core.tuning import WorkGroupTiming, sweep_work_groups
+from ..core.tuning import WorkGroupTiming
 from ..data import single_image
 from ..data.images import ImageClass
 from .common import (
     ExperimentSettings,
     PARAMETRIZATION_APPS,
-    app_for,
-    default_device,
     format_table,
+    make_engine,
 )
 
 
@@ -41,20 +41,19 @@ def run(
     image_size: int | None = None,
     apps: tuple[str, ...] = PARAMETRIZATION_APPS,
     work_groups: tuple[tuple[int, int], ...] = WORK_GROUP_CANDIDATES,
+    engine: PerforationEngine | None = None,
 ) -> Figure9Result:
     """Run the Figure 9 experiment."""
     settings = ExperimentSettings.for_mode(quick=quick, image_size=image_size)
-    device = default_device()
+    engine = engine or make_engine()
     image = single_image(ImageClass.NATURAL, size=settings.image_size, seed=42)
 
     timings: dict[str, list[WorkGroupTiming]] = {}
     best: dict[str, dict[str, tuple[int, int]]] = {}
     for name in apps:
-        app = app_for(name)
-        configs = [ROWS1_NN] if app.halo == 0 else [STENCIL1_NN, ROWS1_NN]
-        app_timings = sweep_work_groups(
-            app, image, configs, work_groups=work_groups, device=device
-        )
+        session = engine.session(app=name).with_inputs(image)
+        configs = [ROWS1_NN] if session.app.halo == 0 else [STENCIL1_NN, ROWS1_NN]
+        app_timings = session.sweep_work_groups(configs, work_groups=work_groups)
         timings[name] = app_timings
         best[name] = {}
         for variant in {t.variant for t in app_timings}:

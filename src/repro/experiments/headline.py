@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.engine import PerforationEngine
 from .common import ExperimentSettings, format_table, percent, times
 from .figure6 import FIGURE6_APPS, Figure6Result, run as run_figure6
 
@@ -25,9 +26,16 @@ class HeadlineResult:
     settings: ExperimentSettings
 
 
-def run(quick: bool = False, image_size: int | None = None, image_count: int | None = None) -> HeadlineResult:
+def run(
+    quick: bool = False,
+    image_size: int | None = None,
+    image_count: int | None = None,
+    engine: PerforationEngine | None = None,
+) -> HeadlineResult:
     """Run the headline aggregation (reuses the Figure 6 harness)."""
-    figure6 = run_figure6(quick=quick, image_size=image_size, image_count=image_count)
+    figure6 = run_figure6(
+        quick=quick, image_size=image_size, image_count=image_count, engine=engine
+    )
     speedups = [r.speedup for r in figure6.per_app.values()]
     errors = [r.summary.mean for r in figure6.per_app.values()]
     return HeadlineResult(

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..apps import TABLE1_ORDER, get_application
-from .common import format_table
+from ..api.engine import PerforationEngine
+from ..apps import TABLE1_ORDER
+from .common import format_table, make_engine
 
 
 @dataclass(frozen=True)
@@ -30,11 +31,15 @@ class Table1Result:
     rows: tuple[Table1Row, ...]
 
 
-def run(work_group: tuple[int, int] = (16, 16)) -> Table1Result:
+def run(
+    work_group: tuple[int, int] = (16, 16),
+    engine: PerforationEngine | None = None,
+) -> Table1Result:
     """Build Table 1 (plus the reuse-factor extension column)."""
+    engine = engine or make_engine()
     rows = []
     for name in TABLE1_ORDER:
-        app = get_application(name)
+        app = engine.resolve_app(name)
         reuse = app.perforator().reuse_factors(*work_group)
         main_buffer = max(reuse.values()) if reuse else 1.0
         filter_side = 2 * app.halo + 1

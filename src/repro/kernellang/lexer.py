@@ -104,11 +104,13 @@ class Lexer:
                 self._advance()
             while self._peek().isdigit():
                 self._advance()
-        if self._peek() in "fF":
+        # _peek() returns "" at EOF and ``"" in "fF"`` is True, so the
+        # suffix checks must test for emptiness explicitly.
+        if self._peek() and self._peek() in "fF":
             is_float = True
             self._advance()
-        elif self._peek() in "uUlL":
-            while self._peek() in "uUlL":
+        elif self._peek() and self._peek() in "uUlL":
+            while self._peek() and self._peek() in "uUlL":
                 self._advance()
         text = self.source[start : self.pos]
         kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL

@@ -1,0 +1,217 @@
+"""Tests for the PerforationEngine: caching, parallelism, evaluation parity."""
+
+import numpy as np
+import pytest
+
+from repro.api import PerforationEngine
+from repro.api.cache import ResultCache, input_token
+from repro.apps import GaussianApp
+from repro.core import ConfigurationError, ROWS1_NN, STENCIL1_NN
+from repro.core.config import default_configurations
+from repro.data import generate_image, hotspot_single
+
+
+class CountingGaussian(GaussianApp):
+    """Gaussian app that counts reference/approximate evaluations."""
+
+    def __init__(self):
+        super().__init__()
+        self.reference_calls = 0
+        self.approximate_calls = 0
+
+    def reference(self, inputs):
+        self.reference_calls += 1
+        return super().reference(inputs)
+
+    def approximate(self, inputs, config):
+        self.approximate_calls += 1
+        return super().approximate(inputs, config)
+
+
+@pytest.fixture()
+def image():
+    return generate_image("natural", size=64, seed=11)
+
+
+class TestConstruction:
+    def test_default_device_is_firepro(self):
+        engine = PerforationEngine()
+        assert "W5100" in engine.device.name
+
+    def test_device_by_name(self):
+        engine = PerforationEngine(device="generic-hbm")
+        assert "HBM" in engine.device.name
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            PerforationEngine(workers=0)
+        with pytest.raises(ValueError):
+            PerforationEngine(workers="many")
+
+    def test_auto_workers(self):
+        assert PerforationEngine(workers="auto").workers >= 1
+
+    def test_context_manager_closes_pool(self, image):
+        with PerforationEngine(workers=2) as engine:
+            engine.sweep("gaussian", image)
+        assert engine._pool is None
+
+    def test_closed_engine_stays_serial(self, image):
+        engine = PerforationEngine(workers=4)
+        engine.close()
+        sweep = engine.sweep("gaussian", image)
+        assert len(sweep.points) == 4
+        assert engine._pool is None  # no pool recreated after close()
+
+
+class TestReferenceCache:
+    def test_reference_computed_once_across_sweep(self, image):
+        app = CountingGaussian()
+        engine = PerforationEngine()
+        engine.sweep(app, image, default_configurations(app.halo))
+        assert app.reference_calls == 1
+        assert app.approximate_calls == 4
+
+    def test_second_sweep_hits_cache(self, image):
+        app = CountingGaussian()
+        engine = PerforationEngine()
+        engine.sweep(app, image, default_configurations(app.halo))
+        engine.sweep(app, image, default_configurations(app.halo))
+        assert app.reference_calls == 1
+        assert engine.cache_stats.reference_hits >= 1
+
+    def test_equal_content_different_objects_share_reference(self, image):
+        app = CountingGaussian()
+        engine = PerforationEngine()
+        engine.evaluate(app, image, ROWS1_NN)
+        engine.evaluate(app, image.copy(), ROWS1_NN)
+        assert app.reference_calls == 1
+
+    def test_cache_disabled(self, image):
+        app = CountingGaussian()
+        engine = PerforationEngine(cache=False)
+        engine.evaluate(app, image, ROWS1_NN)
+        engine.evaluate(app, image, ROWS1_NN)
+        assert app.reference_calls == 2
+        assert engine.cache_stats.hits == 0
+
+    def test_clear_cache(self, image):
+        app = CountingGaussian()
+        engine = PerforationEngine()
+        engine.evaluate(app, image, ROWS1_NN)
+        engine.clear_cache()
+        engine.evaluate(app, image, ROWS1_NN)
+        assert app.reference_calls == 2
+
+    def test_timing_cache_hits_across_configs(self, image):
+        engine = PerforationEngine()
+        engine.sweep("gaussian", image)
+        # The baseline timing is shared by all four configurations.
+        assert engine.cache_stats.timing_hits >= 3
+
+    def test_cached_reference_is_readonly(self, image):
+        """Shared cache entries must not be silently mutable by callers."""
+        engine = PerforationEngine()
+        reference = engine.reference("gaussian", image)
+        with pytest.raises(ValueError):
+            reference[0, 0] = 123.0
+
+    def test_subclass_with_same_name_gets_own_cache_entry(self, image):
+        """A subclass overriding reference() must not alias the stock app."""
+        engine = PerforationEngine()
+        engine.reference(GaussianApp(), image)
+        counting = CountingGaussian()
+        engine.reference(counting, image)
+        assert counting.reference_calls == 1  # computed, not aliased
+
+    def test_lru_bound_evicts_old_references(self):
+        cache = ResultCache(max_references=2)
+        engine = PerforationEngine(cache=cache)
+        app = CountingGaussian()
+        images = [generate_image("natural", size=32, seed=s) for s in range(3)]
+        for img in images:
+            engine.reference(app, img)
+        engine.reference(app, images[0])  # evicted -> recomputed
+        assert app.reference_calls == 4
+
+
+class TestInputToken:
+    def test_array_token_is_content_based(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert input_token(a) == input_token(a.copy())
+        assert input_token(a) != input_token(a + 1)
+
+    def test_dataclass_token(self):
+        h1 = hotspot_single(size=64, seed=3)
+        h2 = hotspot_single(size=64, seed=3)
+        h3 = hotspot_single(size=64, seed=4)
+        assert input_token(h1) == input_token(h2)
+        assert input_token(h1) != input_token(h3)
+
+    def test_unhashable_object_returns_none(self):
+        class Opaque:
+            pass
+
+        assert input_token(Opaque()) is None
+
+
+class TestParallelParity:
+    """Acceptance: parallel sweeps match the serial path bit for bit."""
+
+    def test_parallel_sweep_identical_to_serial(self, image):
+        app = GaussianApp()
+        configs = default_configurations(app.halo)
+        serial = PerforationEngine(workers=1).sweep(app, image, configs)
+        parallel = PerforationEngine(workers=4).sweep(app, image, configs)
+        assert [p.config for p in serial.points] == [p.config for p in parallel.points]
+        assert [p.error for p in serial.points] == [p.error for p in parallel.points]
+        assert [p.speedup for p in serial.points] == [p.speedup for p in parallel.points]
+        assert [p.runtime_s for p in serial.points] == [p.runtime_s for p in parallel.points]
+
+    def test_parallel_dataset_identical_to_serial(self):
+        dataset = [generate_image("natural", size=64, seed=s) for s in range(5)]
+        serial = PerforationEngine(workers=1).evaluate_dataset("gaussian", dataset, ROWS1_NN)
+        parallel = PerforationEngine(workers=4).evaluate_dataset("gaussian", dataset, ROWS1_NN)
+        assert serial.errors == parallel.errors
+        assert serial.speedup == parallel.speedup
+
+    def test_parallel_full_sweep_identical_to_serial(self, image):
+        serial = PerforationEngine(workers=1).full_sweep("median", image)
+        parallel = PerforationEngine(workers=3).full_sweep("median", image)
+        assert [(p.config, p.error, p.speedup) for p in serial.points] == [
+            (p.config, p.error, p.speedup) for p in parallel.points
+        ]
+
+
+class TestEvaluation:
+    def test_evaluate_by_app_name(self, image):
+        result = PerforationEngine().evaluate("gaussian", image, ROWS1_NN)
+        assert result.app_name == "gaussian"
+        assert result.error > 0
+        assert result.speedup > 1.0
+
+    def test_invalid_config_rejected(self, image):
+        with pytest.raises(ConfigurationError):
+            PerforationEngine().evaluate("inversion", image, STENCIL1_NN)
+
+    def test_numpy_array_dataset_accepted(self):
+        """Regression: ``if not dataset`` used to raise for array datasets."""
+        stack = np.stack([generate_image("natural", size=64, seed=s) for s in range(3)])
+        result = PerforationEngine().evaluate_dataset("gaussian", stack, ROWS1_NN)
+        assert result.summary.count == 3
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerforationEngine().evaluate_dataset("gaussian", [], ROWS1_NN)
+
+    def test_hotspot_inputs_cacheable(self):
+        instance = hotspot_single(size=64, seed=21)
+        engine = PerforationEngine()
+        r1 = engine.evaluate("hotspot", instance, ROWS1_NN)
+        r2 = engine.evaluate("hotspot", instance, ROWS1_NN)
+        assert r1.error == r2.error
+        assert engine.cache_stats.reference_hits >= 1
+
+    def test_best_work_group_matches_legacy_observation(self, image):
+        shape = PerforationEngine().best_work_group("gaussian", image, ROWS1_NN)
+        assert shape[0] >= shape[1]  # the paper's x-major observation

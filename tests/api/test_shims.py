@@ -1,0 +1,97 @@
+"""The legacy free functions must keep working as deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import PerforationEngine
+from repro.apps import GaussianApp
+from repro.core import (
+    QualityAwareRuntime,
+    ROWS1_NN,
+    evaluate_configuration,
+    evaluate_dataset,
+    evaluate_many,
+    sweep_configurations,
+)
+from repro.data import generate_image
+
+
+@pytest.fixture()
+def image():
+    return generate_image("natural", size=64, seed=11)
+
+
+class TestDeprecationWarnings:
+    def test_evaluate_configuration_warns(self, image):
+        with pytest.warns(DeprecationWarning, match="evaluate_configuration"):
+            evaluate_configuration(GaussianApp(), image, ROWS1_NN)
+
+    def test_evaluate_dataset_warns(self, image):
+        with pytest.warns(DeprecationWarning, match="evaluate_dataset"):
+            evaluate_dataset(GaussianApp(), [image], ROWS1_NN)
+
+    def test_evaluate_many_warns(self, image):
+        with pytest.warns(DeprecationWarning, match="evaluate_many"):
+            evaluate_many(GaussianApp(), image, [ROWS1_NN])
+
+    def test_sweep_configurations_warns(self, image):
+        with pytest.warns(DeprecationWarning, match="sweep_configurations"):
+            sweep_configurations(GaussianApp(), image)
+
+    def test_quality_aware_runtime_warns(self):
+        with pytest.warns(DeprecationWarning, match="QualityAwareRuntime"):
+            QualityAwareRuntime(GaussianApp(), error_budget=0.05)
+
+
+class TestShimParity:
+    """The shims must return exactly what the engine returns."""
+
+    def test_evaluate_configuration_matches_engine(self, image):
+        engine = PerforationEngine()
+        direct = engine.evaluate(GaussianApp(), image, ROWS1_NN)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = evaluate_configuration(GaussianApp(), image, ROWS1_NN)
+        assert shimmed.error == direct.error
+        assert shimmed.speedup == direct.speedup
+
+    def test_sweep_configurations_matches_engine(self, image):
+        engine = PerforationEngine()
+        direct = engine.sweep(GaussianApp(), image)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = sweep_configurations(GaussianApp(), image)
+        assert [(p.label, p.error, p.speedup) for p in direct.points] == [
+            (p.label, p.error, p.speedup) for p in shimmed.points
+        ]
+
+    def test_runtime_attributes_still_assignable(self, image):
+        """The 1.0 class exposed plain attributes; the shim must too."""
+        from repro.core.config import ACCURATE_CONFIG
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runtime = QualityAwareRuntime(GaussianApp(), error_budget=0.10)
+        runtime.selected = ACCURATE_CONFIG
+        runtime.error_budget = 0.02
+        runtime.safety_margin = 0.5
+        assert runtime.selected.is_accurate
+        assert runtime.error_budget == 0.02
+        record = runtime.execute(image)
+        assert record.error == 0.0
+        record.output[0, 0] = 42.0  # output is the caller's private copy
+
+    def test_runtime_matches_session_autotune(self, image):
+        flat = generate_image("flat", size=64, seed=14)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runtime = QualityAwareRuntime(GaussianApp(), error_budget=0.10)
+            runtime.calibrate([flat, image])
+        session = PerforationEngine().session(app="gaussian").autotune(
+            error_budget=0.10, calibration_inputs=[flat, image]
+        )
+        assert runtime.selected.label == session.selected.label
+        assert [e.config.label for e in runtime.calibration] == [
+            e.config.label for e in session.calibration
+        ]

@@ -24,6 +24,9 @@ from repro.kernellang import check_program, parse_program
 from repro.kernellang.analysis import analyze_kernel
 
 
+pytestmark = pytest.mark.slow
+
+
 def inputs_for(app, image, hotspot):
     return hotspot if app.name == "hotspot" else image
 

@@ -8,6 +8,9 @@ from repro.apps import GAUSSIAN_WEIGHTS, GaussianApp, MedianApp
 from repro.core import ROWS1_NN, STENCIL1_NN, compute_error
 
 
+pytestmark = pytest.mark.slow
+
+
 class TestGaussian:
     def test_weights_are_normalised(self):
         assert GAUSSIAN_WEIGHTS.sum() == pytest.approx(1.0)

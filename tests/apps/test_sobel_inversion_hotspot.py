@@ -18,6 +18,9 @@ from repro.data import generate_hotspot_input
 from repro.data.hotspot import AMBIENT_TEMPERATURE
 
 
+pytestmark = pytest.mark.slow
+
+
 class TestSobel:
     def test_masks_are_antisymmetric(self):
         np.testing.assert_array_equal(SOBEL3_GX, -SOBEL3_GX[:, ::-1])

@@ -14,6 +14,9 @@ from repro.kernellang.analysis import (
 )
 from repro.kernellang.analysis.access_patterns import SYM_W, SYM_X, SYM_Y
 
+
+pytestmark = pytest.mark.slow
+
 GAUSSIAN = """
 __kernel void gaussian(__global const float* input, __global float* output, int width, int height) {
     int x = get_global_id(0);

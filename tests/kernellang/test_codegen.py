@@ -7,6 +7,9 @@ from repro.clsim import Buffer, Executor, NDRange
 from repro.kernellang import ast, generate, parse_program
 from repro.kernellang.interpreter import KernelInterpreter
 
+
+pytestmark = pytest.mark.slow
+
 SOURCE = """
 __constant float coeff[3] = {0.25f, 0.5f, 0.25f};
 

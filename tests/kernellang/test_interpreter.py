@@ -8,6 +8,9 @@ from repro.kernellang import InterpreterError, compile_kernel, parse_program
 from repro.kernellang.interpreter import KernelInterpreter
 
 
+pytestmark = pytest.mark.slow
+
+
 def run_kernel(source, width, height, inputs, extra_args=None, local=(8, 8), kernel_name=None):
     """Helper: execute a 2D kernel with an input and output image buffer."""
     executor = Executor()

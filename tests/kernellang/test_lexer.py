@@ -6,6 +6,9 @@ from repro.kernellang import LexError, tokenize
 from repro.kernellang.tokens import TokenKind
 
 
+pytestmark = pytest.mark.slow
+
+
 def kinds(source):
     return [t.kind for t in tokenize(source)[:-1]]
 

@@ -5,6 +5,9 @@ import pytest
 from repro.kernellang import ParseError, ast, parse_kernel, parse_program
 from repro.kernellang.types import ArrayType, PointerType, ScalarType
 
+
+pytestmark = pytest.mark.slow
+
 GAUSSIAN_LIKE = """
 __constant float coeff[4] = {1.0f, 2.0f, 3.0f, 4.0f};
 

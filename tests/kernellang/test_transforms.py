@@ -25,6 +25,9 @@ from repro.kernellang.transforms import (
 )
 from repro.kernellang import ast
 
+
+pytestmark = pytest.mark.slow
+
 GAUSSIAN = """
 __constant float coeff[9] = {
     0.0625f, 0.125f, 0.0625f, 0.125f, 0.25f, 0.125f, 0.0625f, 0.125f, 0.0625f

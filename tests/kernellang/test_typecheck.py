@@ -7,6 +7,9 @@ from repro.kernellang.symbols import Scope, Symbol, SymbolTable
 from repro.kernellang.types import FLOAT, INT
 
 
+pytestmark = pytest.mark.slow
+
+
 def check(source):
     return check_program(parse_program(source))
 

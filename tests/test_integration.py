@@ -26,6 +26,9 @@ from repro.data import generate_image
 from repro.kernellang.analysis import build_profile
 
 
+pytestmark = pytest.mark.slow
+
+
 def run_compiled(perforated, image, local):
     executor = Executor()
     kernel = perforated.executable()
