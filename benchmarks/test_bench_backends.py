@@ -1,0 +1,63 @@
+"""Benchmark: execution-backend speedup on the gaussian compiler-path sweep.
+
+Runs the paper's four default configurations of the Gaussian kernel through
+the *compiled* path (kernellang passes + simulated execution) under both
+execution backends and records the wall-clock ratio.  The vectorized
+backend executes whole work groups as batched NumPy operations; the
+acceptance bar for the backend subsystem is a >= 5x speedup over the
+per-work-item interpreter backend, with bit-identical outputs (the
+conformance suite under ``tests/clsim`` checks outputs and counters on
+every CI run; this benchmark re-checks outputs at full size).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.api import PerforationEngine
+from repro.data import generate_image
+
+#: Paper-scale-ish input: big enough that per-work-item interpretation is
+#: clearly the bottleneck, small enough for the harness to finish quickly.
+IMAGE_SIZE = 64
+
+#: Required advantage of the vectorized backend (acceptance criterion).
+REQUIRED_SPEEDUP = 5.0
+
+
+def _sweep(engine: PerforationEngine, image, backend: str):
+    start = time.perf_counter()
+    outputs = engine.compiled_sweep("gaussian", image, backend=backend)
+    return outputs, time.perf_counter() - start
+
+
+def test_gaussian_compiled_sweep_backend_speedup(benchmark, archive):
+    image = generate_image("natural", size=IMAGE_SIZE, seed=42)
+    engine = PerforationEngine()
+
+    interp_outputs, interp_seconds = _sweep(engine, image, "interpreter")
+
+    def vectorized_sweep():
+        return _sweep(engine, image, "vectorized")
+
+    vec_outputs, vec_seconds = run_once(benchmark, vectorized_sweep)
+
+    speedup = interp_seconds / vec_seconds
+    lines = [
+        "Execution-backend speedup, gaussian compiled sweep "
+        f"({IMAGE_SIZE}x{IMAGE_SIZE}, {len(interp_outputs)} configurations)",
+        f"interpreter backend : {interp_seconds * 1e3:9.1f} ms",
+        f"vectorized backend  : {vec_seconds * 1e3:9.1f} ms",
+        f"speedup             : {speedup:9.1f}x (required: >= {REQUIRED_SPEEDUP:.0f}x)",
+    ]
+    archive("backend_speedup", "\n".join(lines))
+
+    # Bit-identical outputs at full size, for every configuration.
+    assert sorted(vec_outputs) == sorted(interp_outputs)
+    for label, output in vec_outputs.items():
+        np.testing.assert_array_equal(output, interp_outputs[label], err_msg=label)
+
+    assert speedup >= REQUIRED_SPEEDUP

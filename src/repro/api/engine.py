@@ -31,7 +31,10 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from ..clsim.backends import ExecutionBackend, resolve_backend
 from ..clsim.device import Device, get_device
+from ..clsim.executor import ExecutionStats, Executor
+from ..clsim.ndrange import NDRange
 from ..clsim.timing import TimingBreakdown, TimingModel
 from ..core.config import (
     ACCURATE_CONFIG,
@@ -78,6 +81,13 @@ class PerforationEngine:
         ``True`` (default) for a fresh :class:`ResultCache`, ``False`` to
         disable memoization entirely, or a ready-made :class:`ResultCache`
         to share between engines.
+    backend:
+        Execution backend used by the *compiled* kernel path
+        (:meth:`run_compiled` / :meth:`compiled_sweep`): a registered name
+        (``"interpreter"``, ``"vectorized"``), an
+        :class:`~repro.clsim.backends.ExecutionBackend` instance, or
+        ``None`` for the default interpreter backend.  Sessions can
+        override it per session.
     """
 
     def __init__(
@@ -85,12 +95,15 @@ class PerforationEngine:
         device: Device | str | None = None,
         workers: int | str = 1,
         cache: bool | ResultCache = True,
+        backend: "ExecutionBackend | str | None" = None,
     ) -> None:
         if device is None:
             device = get_device()
         elif isinstance(device, str):
             device = get_device(device)
         self.device = device
+        # Resolve eagerly so unknown backend names fail at construction.
+        self.backend = resolve_backend(backend)
         self.timing_model = TimingModel(device)
         if isinstance(cache, ResultCache):
             self.cache: ResultCache | None = cache
@@ -283,6 +296,86 @@ class PerforationEngine:
         )
 
     # ------------------------------------------------------------------
+    # Compiler path (simulated execution of the transformed kernels)
+    # ------------------------------------------------------------------
+    def executor(self, backend: ExecutionBackend | str | None = None) -> Executor:
+        """A :class:`~repro.clsim.executor.Executor` on this engine's device.
+
+        ``backend`` overrides the engine's execution backend for this
+        executor only.
+        """
+        return Executor(
+            self.device, resolve_backend(backend) if backend is not None else self.backend
+        )
+
+    def run_compiled(
+        self,
+        app,
+        inputs,
+        config: ApproximationConfig | None = None,
+        backend: ExecutionBackend | str | None = None,
+        with_stats: bool = False,
+    ):
+        """Run the *compiled* (perforated) kernel on the simulated device.
+
+        This is the paper's compiler path — kernellang passes plus
+        functional execution — as opposed to the NumPy fast path used by
+        :meth:`evaluate`.  The selected execution backend decides how fast
+        the simulation itself runs; outputs and access counters are
+        backend-independent (see the cross-backend conformance suite).
+
+        Returns the output array, or ``(output, stats)`` with
+        ``with_stats=True``.
+        """
+        app = self.resolve_app(app)
+        if config is None:
+            config = ACCURATE_CONFIG
+        config.validate_for_halo(app.halo)
+        perforator = app.perforator()
+        perforated = (
+            perforator.accurate() if config.is_accurate else perforator.perforate(config)
+        )
+        kernel = perforated.executable()
+        width, height = app.global_size(inputs)
+        output = app.output_buffer(inputs)
+        args = app.kernel_args(inputs, output)
+        stats: ExecutionStats = self.executor(backend).run(
+            kernel, NDRange((width, height), config.work_group), args
+        )
+        if with_stats:
+            return output.array, stats
+        return output.array
+
+    def compiled_sweep(
+        self,
+        app,
+        inputs,
+        configs: Iterable[ApproximationConfig] | None = None,
+        backend: ExecutionBackend | str | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Run the compiled kernel for each configuration (default: the
+        paper's four), returning outputs keyed by configuration label.
+
+        Evaluations are independent and run on the worker pool.
+        """
+        app = self.resolve_app(app)
+        if configs is None:
+            configs = default_configurations(app.halo)
+        configs = list(configs)
+        labels = [config.label for config in configs]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                "compiled_sweep configurations must have distinct labels "
+                f"(got {labels}); differentiate the configs or run them "
+                "individually via run_compiled()"
+            )
+        outputs = self._map(
+            lambda config: self.run_compiled(app, inputs, config, backend=backend),
+            configs,
+        )
+        return {config.label: output for config, output in zip(configs, outputs)}
+
+    # ------------------------------------------------------------------
     # Sweeps
     # ------------------------------------------------------------------
     def sweep(
@@ -404,11 +497,14 @@ class PerforationEngine:
         inputs=None,
         error_budget: float | None = None,
         safety_margin: float = 0.25,
+        backend: ExecutionBackend | str | None = None,
     ):
         """Open a fluent :class:`~repro.api.session.Session` for one application.
 
         ``app`` is an :class:`~repro.apps.base.Application` instance or a
-        registered name (``"gaussian"``, ``"sobel3"``, ...).
+        registered name (``"gaussian"``, ``"sobel3"``, ...).  ``backend``
+        overrides the engine's execution backend for this session's
+        compiled-kernel runs.
         """
         from .session import Session
 
@@ -419,12 +515,14 @@ class PerforationEngine:
             inputs=inputs,
             error_budget=error_budget,
             safety_margin=safety_margin,
+            backend=backend,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<PerforationEngine device={self.device.name!r} workers={self.workers} "
-            f"cache={'on' if self.cache is not None else 'off'}>"
+            f"cache={'on' if self.cache is not None else 'off'} "
+            f"backend={self.backend.name!r}>"
         )
 
 

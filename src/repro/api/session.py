@@ -29,11 +29,17 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..clsim.backends import resolve_backend
 from ..core.config import ACCURATE_CONFIG, ApproximationConfig, WORK_GROUP_CANDIDATES
 from ..core.errors import TuningError
 from ..core.pipeline import ConfigurationResult, DatasetResult, baseline_config_for
 from ..core.quality import compute_error
 from ..core.tuning import SweepResult, WorkGroupTiming
+
+
+def _resolve_session_backend(backend):
+    """Normalise a session backend selection (``None`` defers to the engine)."""
+    return None if backend is None else resolve_backend(backend)
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,7 @@ class Session:
         inputs=None,
         error_budget: float | None = None,
         safety_margin: float = 0.25,
+        backend=None,
     ) -> None:
         self.engine = engine
         self.app = app
@@ -83,6 +90,10 @@ class Session:
         self.inputs = inputs
         self.error_budget = error_budget
         self.safety_margin = safety_margin
+        #: Execution backend for compiled-kernel runs; ``None`` defers to
+        #: the engine's backend.  Resolved eagerly so unknown backend names
+        #: fail here rather than deep inside the first run_compiled().
+        self.backend = _resolve_session_backend(backend)
         self.calibration: list[CalibrationEntry] = []
         self.selected: ApproximationConfig = ACCURATE_CONFIG
         self.history: list[ExecutionRecord] = []
@@ -102,6 +113,11 @@ class Session:
 
     def with_error_budget(self, budget: float) -> "Session":
         self.error_budget = budget
+        return self
+
+    def with_backend(self, backend) -> "Session":
+        """Select the execution backend for this session's compiled runs."""
+        self.backend = _resolve_session_backend(backend)
         return self
 
     # ------------------------------------------------------------------
@@ -133,6 +149,25 @@ class Session:
     # ------------------------------------------------------------------
     def evaluate(self, inputs, config: ApproximationConfig) -> ConfigurationResult:
         return self.engine.evaluate(self.app, inputs, config)
+
+    def run_compiled(
+        self,
+        inputs=None,
+        config: ApproximationConfig | None = None,
+        with_stats: bool = False,
+    ):
+        """Run the compiled (perforated) kernel on the simulated device.
+
+        Uses the session's selected configuration when ``config`` is not
+        given (the accurate kernel before :meth:`autotune` was called), and
+        the session's execution backend (falling back to the engine's).
+        """
+        inputs = self._inputs_or_default(inputs)
+        if config is None:
+            config = self.selected
+        return self.engine.run_compiled(
+            self.app, inputs, config, backend=self.backend, with_stats=with_stats
+        )
 
     def evaluate_many(
         self, inputs, configs: Iterable[ApproximationConfig]

@@ -129,6 +129,29 @@ class Application(abc.ABC):
         """Kernel perforator for this application's kernel source (cached)."""
         return _cached_perforator(type(self), self.kernel_source())
 
+    def output_buffer(self, inputs):
+        """Zero-initialised output buffer for a compiled-kernel launch."""
+        from ..clsim.memory import Buffer
+
+        image = np.asarray(inputs, dtype=np.float64)
+        return Buffer(np.zeros_like(image), "output")
+
+    def kernel_args(self, inputs, output) -> dict[str, object]:
+        """Argument binding for launching this application's kernel on the
+        clsim executor (the compiler path).  ``output`` is the buffer
+        returned by :meth:`output_buffer`.  Applications with extra buffers
+        or scalar parameters (e.g. Hotspot) override this."""
+        from ..clsim.memory import Buffer
+
+        image = np.asarray(inputs, dtype=np.float64)
+        height, width = image.shape[:2]
+        return {
+            "input": Buffer(image, "input"),
+            "output": output,
+            "width": width,
+            "height": height,
+        }
+
     # ------------------------------------------------------------------
     # Timing profiles
     # ------------------------------------------------------------------

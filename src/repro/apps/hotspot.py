@@ -132,6 +132,28 @@ class HotspotApp(Application):
     def global_size(self, inputs: HotspotInput) -> tuple[int, int]:
         return (inputs.size, inputs.size)
 
+    def output_buffer(self, inputs: HotspotInput):
+        from ..clsim.memory import Buffer
+
+        return Buffer(np.zeros_like(inputs.temperature), "output")
+
+    def kernel_args(self, inputs: HotspotInput, output) -> dict[str, object]:
+        from ..clsim.memory import Buffer
+
+        coefficients = HotspotCoefficients.for_grid(inputs.size, inputs.size)
+        return {
+            "temp": Buffer(inputs.temperature, "temp"),
+            "power": Buffer(inputs.power, "power"),
+            "output": output,
+            "width": inputs.size,
+            "height": inputs.size,
+            "step_div_cap": coefficients.step_div_cap,
+            "rx_1": coefficients.rx_1,
+            "ry_1": coefficients.ry_1,
+            "rz_1": coefficients.rz_1,
+            "ambient": coefficients.ambient,
+        }
+
     # ------------------------------------------------------------------
     def reference(self, inputs: HotspotInput) -> np.ndarray:
         coefficients = HotspotCoefficients.for_grid(inputs.size, inputs.size)

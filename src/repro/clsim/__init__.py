@@ -15,6 +15,17 @@ The default device profile approximates the AMD FirePro W5100 used in the
 paper's evaluation.
 """
 
+from .backends import (
+    DEFAULT_BACKEND,
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    InterpreterBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from .device import (
     Device,
     available_devices,
@@ -28,6 +39,7 @@ from .errors import (
     BufferOutOfBoundsError,
     BufferSizeError,
     ClSimError,
+    InvalidBackendError,
     InvalidDeviceError,
     InvalidNDRangeError,
     InvalidWorkGroupSizeError,
@@ -59,6 +71,16 @@ from .timing import (
 )
 
 __all__ = [
+    "InvalidBackendError",
+    "resolve_backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "VectorizedBackend",
+    "InterpreterBackend",
+    "ExecutionBackend",
+    "EXECUTION_BACKENDS",
+    "DEFAULT_BACKEND",
     "AccessCounters",
     "AccessPattern",
     "AddressSpace",

@@ -1,0 +1,211 @@
+"""Pluggable execution backends for the functional executor.
+
+The :class:`~repro.clsim.executor.Executor` delegates the execution of each
+work group to an :class:`ExecutionBackend`:
+
+* the ``"interpreter"`` backend is the reference implementation — every
+  work-item runs as a Python generator, all work-items of a group advance
+  in lock-step between barriers (this is the seed behaviour, unchanged);
+* the ``"vectorized"`` backend executes a whole work group as batched NumPy
+  operations lowered from the kernellang AST
+  (:mod:`repro.kernellang.vectorize`) — orders of magnitude faster, with
+  bit-identical outputs and identical
+  :class:`~repro.clsim.executor.ExecutionStats` counters, which the
+  cross-backend conformance suite (``tests/clsim/test_backend_parity.py``)
+  pins down.
+
+Backends are resolvable by name through a string-keyed registry, mirroring
+the application/device/scheme registries of the session API:
+
+.. code-block:: python
+
+    from repro.clsim import Executor
+    from repro.api import PerforationEngine
+
+    Executor(backend="vectorized")
+    PerforationEngine(backend="vectorized")
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+
+from ..api.registry import Registry
+from .errors import (
+    BarrierDivergenceError,
+    InvalidBackendError,
+    KernelExecutionError,
+)
+from .kernel import BARRIER, Kernel, KernelContext
+from .ndrange import NDRange
+
+#: Name of the backend used when none is selected explicitly.
+DEFAULT_BACKEND = "interpreter"
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy that executes one work group of a kernel launch."""
+
+    #: Registry name of the backend (informational).
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run_group(
+        self,
+        kernel: Kernel,
+        ctx: KernelContext,
+        ndrange: NDRange,
+        group_id: tuple[int, ...],
+    ) -> int:
+        """Run all work-items of one group; returns the number of barriers."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class InterpreterBackend(ExecutionBackend):
+    """Reference backend: per-work-item generators advanced in lock-step."""
+
+    name = "interpreter"
+
+    def run_group(self, kernel, ctx, ndrange, group_id) -> int:
+        work_items = list(ndrange.work_items_in_group(group_id))
+        if not inspect.isgeneratorfunction(kernel.body):
+            for wi in work_items:
+                try:
+                    kernel.body(ctx, wi)
+                except KernelExecutionError:
+                    raise
+                except Exception as exc:  # pragma: no cover - defensive
+                    raise KernelExecutionError(
+                        f"kernel {kernel.name!r} failed for work-item {wi.global_id}: {exc}"
+                    ) from exc
+            return 0
+
+        generators = []
+        for wi in work_items:
+            try:
+                generators.append((wi, kernel.body(ctx, wi)))
+            except Exception as exc:  # pragma: no cover - defensive
+                raise KernelExecutionError(
+                    f"kernel {kernel.name!r} failed to start for work-item "
+                    f"{wi.global_id}: {exc}"
+                ) from exc
+
+        barriers = 0
+        active = generators
+        while active:
+            still_running = []
+            finished = []
+            for wi, gen in active:
+                try:
+                    value = next(gen)
+                except StopIteration:
+                    finished.append((wi, gen))
+                    continue
+                except Exception as exc:
+                    raise KernelExecutionError(
+                        f"kernel {kernel.name!r} failed for work-item {wi.global_id}: {exc}"
+                    ) from exc
+                if value is not BARRIER and value != BARRIER:
+                    raise KernelExecutionError(
+                        f"kernel {kernel.name!r} yielded unexpected value {value!r}; "
+                        f"kernels may only yield BARRIER"
+                    )
+                still_running.append((wi, gen))
+            if still_running and finished:
+                raise BarrierDivergenceError(
+                    f"kernel {kernel.name!r}: work-items of group {group_id} reached "
+                    f"different numbers of barriers"
+                )
+            if still_running:
+                barriers += 1
+            active = still_running
+        return barriers
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Batched-NumPy backend for kernels compiled from kernellang source.
+
+    Kernels built directly from Python bodies carry no AST to lower, so they
+    raise :class:`KernelExecutionError`; run those on the interpreter
+    backend instead.
+    """
+
+    name = "vectorized"
+
+    def run_group(self, kernel, ctx, ndrange, group_id) -> int:
+        # Imported lazily: kernellang itself imports repro.clsim.
+        from ..kernellang.errors import KernelLangError
+        from ..kernellang.vectorize import vectorized_kernel
+
+        if getattr(kernel, "ast_program", None) is None:
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} carries no kernellang AST; the "
+                f"vectorized backend only runs kernels compiled from "
+                f"kernellang source (use the 'interpreter' backend)"
+            )
+        compiled = vectorized_kernel(kernel)
+        try:
+            return compiled.run_group(ctx, ndrange, group_id)
+        except KernelExecutionError:  # includes BarrierDivergenceError
+            raise
+        except KernelLangError as exc:
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} failed for group {group_id}: {exc}"
+            ) from exc
+
+
+#: Registry of execution-backend factories; new backends can be added with
+#: :func:`register_backend` and are then resolvable by every executor and
+#: engine: ``Executor(backend="my-backend")``.
+EXECUTION_BACKENDS: Registry = Registry("execution backend", error=InvalidBackendError)
+
+EXECUTION_BACKENDS.register("interpreter", InterpreterBackend)
+EXECUTION_BACKENDS.register("vectorized", VectorizedBackend)
+
+
+def register_backend(name: str, factory=None, *, overwrite: bool = False):
+    """Register an execution-backend class/factory under ``name``.
+
+    Usable directly (``register_backend("mine", MyBackend)``) or as a
+    decorator (``@register_backend("mine")``).
+    """
+    return EXECUTION_BACKENDS.register(name, factory, overwrite=overwrite)
+
+
+def available_backends() -> list[str]:
+    """Names of the registered execution backends."""
+    return EXECUTION_BACKENDS.names()
+
+
+def get_backend(name: str = DEFAULT_BACKEND) -> ExecutionBackend:
+    """Look up a registered backend by name and instantiate it.
+
+    Raises
+    ------
+    InvalidBackendError
+        If ``name`` is not a known backend.
+    """
+    entry = EXECUTION_BACKENDS.get(name)
+    backend = entry() if isinstance(entry, type) or callable(entry) else entry
+    if not isinstance(backend, ExecutionBackend):
+        raise InvalidBackendError(
+            f"execution backend {name!r} resolved to {backend!r}, "
+            f"which is not an ExecutionBackend"
+        )
+    return backend
+
+
+def resolve_backend(backend=None) -> ExecutionBackend:
+    """Normalise a backend selection (name, instance or ``None``)."""
+    if backend is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise InvalidBackendError(
+        f"backend must be a registered name or an ExecutionBackend, got {backend!r}"
+    )

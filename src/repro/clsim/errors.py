@@ -17,6 +17,10 @@ class InvalidDeviceError(ClSimError):
     """Raised when a device profile is malformed or unknown."""
 
 
+class InvalidBackendError(ClSimError):
+    """Raised when an execution backend is malformed or unknown."""
+
+
 class InvalidNDRangeError(ClSimError):
     """Raised for malformed NDRange / work-group configurations."""
 

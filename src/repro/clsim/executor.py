@@ -1,23 +1,31 @@
 """Functional execution of kernels over an NDRange.
 
-The executor runs a kernel work group by work group.  Within a work group
-all work-items advance in lock-step between barriers: kernel bodies written
-as generators yield :data:`~repro.clsim.kernel.BARRIER` at synchronisation
-points, and the executor only resumes work-items once every member of the
-group has reached the barrier.  This reproduces the OpenCL execution model
-closely enough to validate the perforation/reconstruction transformations
-functionally (the analytical timing model handles performance separately).
+The executor runs a kernel work group by work group, delegating the
+per-group execution to a pluggable :class:`~repro.clsim.backends.ExecutionBackend`:
+
+* the default ``"interpreter"`` backend advances every work-item as a
+  Python generator in lock-step between barriers (kernel bodies yield
+  :data:`~repro.clsim.kernel.BARRIER` at synchronisation points) — the
+  reference execution model;
+* the ``"vectorized"`` backend executes a whole work group as batched
+  NumPy operations lowered from the kernellang AST — bit-identical outputs
+  and access counters, orders of magnitude faster.
+
+Either way the executor owns the launch bookkeeping: device validation,
+local-memory lifecycle, and the aggregation of the
+:class:`ExecutionStats` access counters (the analytical timing model
+handles performance separately).
 """
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from .backends import ExecutionBackend, resolve_backend
 from .device import Device, firepro_w5100
-from .errors import BarrierDivergenceError, KernelExecutionError
-from .kernel import BARRIER, Kernel, KernelContext
+from .kernel import Kernel
+from .kernel import KernelContext
 from .memory import AccessCounters, LocalMemory
 from .ndrange import NDRange
 
@@ -43,10 +51,26 @@ class ExecutionStats:
 
 
 class Executor:
-    """Runs kernels functionally on a simulated device."""
+    """Runs kernels functionally on a simulated device.
 
-    def __init__(self, device: Device | None = None) -> None:
+    Parameters
+    ----------
+    device:
+        Device profile to validate launches against (default: the paper's
+        FirePro W5100).
+    backend:
+        Execution backend: a registered name (``"interpreter"``,
+        ``"vectorized"``), an :class:`ExecutionBackend` instance, or
+        ``None`` for the default interpreter backend.
+    """
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        backend: ExecutionBackend | str | None = None,
+    ) -> None:
         self.device = device or firepro_w5100()
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     def run(
@@ -76,7 +100,7 @@ class Executor:
             ctx = KernelContext(
                 args=dict(bound), local=local, ndrange=ndrange, group_id=group_id
             )
-            stats.barriers += self._run_group(kernel, ctx, ndrange, group_id)
+            stats.barriers += self.backend.run_group(kernel, ctx, ndrange, group_id)
             stats.work_groups += 1
             stats.local_counters.merge(local.counters)
             for private in ctx.private.values():
@@ -87,66 +111,3 @@ class Executor:
             stats.global_counters.reads += buf.counters.reads - reads0
             stats.global_counters.writes += buf.counters.writes - writes0
         return stats
-
-    # ------------------------------------------------------------------
-    def _run_group(
-        self,
-        kernel: Kernel,
-        ctx: KernelContext,
-        ndrange: NDRange,
-        group_id: tuple[int, ...],
-    ) -> int:
-        """Run all work-items of one group; returns the number of barriers."""
-        work_items = list(ndrange.work_items_in_group(group_id))
-        if not inspect.isgeneratorfunction(kernel.body):
-            for wi in work_items:
-                try:
-                    kernel.body(ctx, wi)
-                except KernelExecutionError:
-                    raise
-                except Exception as exc:  # pragma: no cover - defensive
-                    raise KernelExecutionError(
-                        f"kernel {kernel.name!r} failed for work-item {wi.global_id}: {exc}"
-                    ) from exc
-            return 0
-
-        generators = []
-        for wi in work_items:
-            try:
-                generators.append((wi, kernel.body(ctx, wi)))
-            except Exception as exc:  # pragma: no cover - defensive
-                raise KernelExecutionError(
-                    f"kernel {kernel.name!r} failed to start for work-item "
-                    f"{wi.global_id}: {exc}"
-                ) from exc
-
-        barriers = 0
-        active = generators
-        while active:
-            still_running = []
-            finished = []
-            for wi, gen in active:
-                try:
-                    value = next(gen)
-                except StopIteration:
-                    finished.append((wi, gen))
-                    continue
-                except Exception as exc:
-                    raise KernelExecutionError(
-                        f"kernel {kernel.name!r} failed for work-item {wi.global_id}: {exc}"
-                    ) from exc
-                if value is not BARRIER and value != BARRIER:
-                    raise KernelExecutionError(
-                        f"kernel {kernel.name!r} yielded unexpected value {value!r}; "
-                        f"kernels may only yield BARRIER"
-                    )
-                still_running.append((wi, gen))
-            if still_running and finished:
-                raise BarrierDivergenceError(
-                    f"kernel {kernel.name!r}: work-items of group {group_id} reached "
-                    f"different numbers of barriers"
-                )
-            if still_running:
-                barriers += 1
-            active = still_running
-        return barriers

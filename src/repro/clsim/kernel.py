@@ -75,7 +75,13 @@ KernelBody = Callable[[KernelContext, WorkItemId], object]
 
 
 class Kernel:
-    """A named kernel with an argument signature and a per-work-item body."""
+    """A named kernel with an argument signature and a per-work-item body.
+
+    ``ast_program``/``ast_kernel_name`` optionally carry the kernellang AST
+    the kernel was compiled from; execution backends that re-lower the
+    kernel (e.g. the vectorized backend) read them, the executor itself
+    never does.
+    """
 
     def __init__(
         self,
@@ -83,11 +89,15 @@ class Kernel:
         body: KernelBody,
         arg_names: Sequence[str],
         profile_factory: Callable[[NDRange, Mapping[str, object]], KernelProfile] | None = None,
+        ast_program: object | None = None,
+        ast_kernel_name: str | None = None,
     ) -> None:
         self.name = name
         self.body = body
         self.arg_names = tuple(arg_names)
         self.profile_factory = profile_factory
+        self.ast_program = ast_program
+        self.ast_kernel_name = ast_kernel_name
 
     def bind_args(self, args: Mapping[str, object] | Sequence[object]) -> dict[str, object]:
         """Validate and normalise the arguments of a launch.

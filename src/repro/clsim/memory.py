@@ -65,7 +65,10 @@ class Buffer:
     def __init__(self, array: np.ndarray, name: str = "buffer") -> None:
         if array.size == 0:
             raise BufferSizeError(f"buffer {name!r} must not be empty")
-        self._array = np.array(array, copy=True)
+        # C order, always: the executors address buffers through a flat
+        # ``reshape(-1)`` view, which would silently detach into a copy for
+        # Fortran-ordered arrays (losing every store).
+        self._array = np.array(array, copy=True, order="C")
         self.name = name
         self.counters = AccessCounters()
 

@@ -62,7 +62,9 @@ from .reconstruction import (
     InputSampler,
     LINEAR_INTERPOLATION,
     NEAREST_NEIGHBOR,
+    ColumnTileSampler,
     ReconstructedImageSampler,
+    RowTileSampler,
     StencilTileSampler,
     approximate_input,
     loaded_row_indices,
@@ -123,7 +125,9 @@ __all__ = [
     "PerforationScheme",
     "QualityAwareRuntime",
     "QualityError",
+    "ColumnTileSampler",
     "ReconstructedImageSampler",
+    "RowTileSampler",
     "ReconstructionError",
     "ROWS1",
     "ROWS1_LI",

@@ -113,8 +113,11 @@ class KernelPerforator:
     ) -> PerforatedKernel:
         """Produce the perforated kernel for ``config``.
 
-        ``buffers`` limits the transformation to the named input buffers
-        (default: all of them).
+        ``buffers`` limits the transformation to the named input buffers.
+        By default every input buffer is staged in local memory and
+        perforated — except under the stencil scheme, where buffers without
+        a halo (e.g. Hotspot's power map) are staged accurately instead,
+        exactly as the NumPy fast path treats them.
         """
         config.validate_for_halo(self.halo)
         if config.is_accurate:
@@ -128,11 +131,23 @@ class KernelPerforator:
             )
         technique = _TECHNIQUE_MAP[config.reconstruction]
 
+        stage_buffers = buffers
+        if buffers is None and scheme_kind == KIND_STENCIL:
+            buffers = [
+                name
+                for name in self.input_buffers
+                if self.pattern_info.summary(name).halo > 0
+            ]
+            if not buffers:
+                raise ConfigurationError(
+                    "the stencil scheme requires at least one input buffer with a halo"
+                )
+
         program = parse_program(self.source)
         kernel_def = program.kernel(self.kernel_name)
         tile_x, tile_y = config.work_group
 
-        passes = [LocalPrefetchPass(buffers=buffers)]
+        passes = [LocalPrefetchPass(buffers=stage_buffers)]
         if scheme_kind == KIND_ROWS:
             passes.append(PerforationPass("rows", step=config.scheme.step, buffers=buffers))  # type: ignore[attr-defined]
         else:

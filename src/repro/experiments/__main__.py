@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..clsim.backends import available_backends
 from .common import make_engine
 from .report import available_experiments, run_all, run_experiment, write_report
 
@@ -69,12 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="device profile to simulate (see repro.clsim.device.available_devices)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend for compiled-kernel runs "
+        "(default: the interpreter backend)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    engine = make_engine(device=args.device, workers=args.workers)
+    engine = make_engine(device=args.device, workers=args.workers, backend=args.backend)
     if args.experiment == "all":
         if args.output:
             path = write_report(args.output, quick=args.quick, engine=engine)

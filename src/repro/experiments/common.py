@@ -81,16 +81,21 @@ def default_device() -> Device:
 
 
 def make_engine(
-    device: Device | str | None = None, workers: int | str = "auto"
+    device: Device | str | None = None,
+    workers: int | str = "auto",
+    backend: str | None = None,
 ) -> PerforationEngine:
     """The engine the experiment harnesses run on.
 
     One engine is shared across an experiment (or a whole report run): its
     reference/timing cache deduplicates work between figures, and its
     worker pool evaluates sweep configurations and dataset inputs in
-    parallel.  Results are bit-for-bit identical for any worker count.
+    parallel.  Results are bit-for-bit identical for any worker count, and
+    — for compiled-kernel runs — for any execution backend.
     """
-    return PerforationEngine(device=device or default_device(), workers=workers)
+    return PerforationEngine(
+        device=device or default_device(), workers=workers, backend=backend
+    )
 
 
 def app_for(name: str):

@@ -22,6 +22,7 @@ from .errors import (
     TypeError_,
 )
 from .interpreter import KernelInterpreter, compile_kernel
+from .vectorize import VectorizedKernel, vectorized_kernel
 from .lexer import Lexer, tokenize
 from .parser import Parser, parse_kernel, parse_program
 from .typecheck import CheckResult, TypeChecker, check_program
@@ -37,6 +38,8 @@ from .types import (
 )
 
 __all__ = [
+    "VectorizedKernel",
+    "vectorized_kernel",
     "AddressSpace",
     "AnalysisError",
     "ArrayType",

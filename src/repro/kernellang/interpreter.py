@@ -228,7 +228,14 @@ class KernelInterpreter:
         def body(ctx: KernelContext, wi: WorkItemId):
             yield from interpreter.execute_work_item(ctx, wi)
 
-        return Kernel(self.kernel_def.name, body, arg_names, profile_factory)
+        return Kernel(
+            self.kernel_def.name,
+            body,
+            arg_names,
+            profile_factory,
+            ast_program=self.program,
+            ast_kernel_name=self.kernel_def.name,
+        )
 
     # ------------------------------------------------------------------
     def execute_work_item(self, ctx: KernelContext, wi: WorkItemId):
@@ -436,8 +443,13 @@ class KernelInterpreter:
             if isinstance(left, int) and isinstance(right, int):
                 if right == 0:
                     raise InterpreterError("integer division by zero")
-                # C semantics: truncation toward zero.
-                return int(left / right)
+                # C semantics: truncation toward zero, computed exactly in
+                # integer arithmetic (float-mediated int(left / right) loses
+                # precision beyond 2**53).
+                quotient = left // right
+                if left % right != 0 and (left < 0) != (right < 0):
+                    quotient += 1
+                return quotient
             if right == 0:
                 raise InterpreterError("division by zero")
             return left / right

@@ -138,8 +138,12 @@ class Token:
 
     @property
     def int_value(self) -> int:
-        """Integer value of an INT_LITERAL token (supports hex)."""
-        return int(self.text, 0)
+        """Integer value of an INT_LITERAL token (supports hex and the
+        ``u``/``U``/``l``/``L`` integer suffixes)."""
+        text = self.text.rstrip("uUlL")
+        # A bare "0x" prefix with the digits stripped cannot happen: the
+        # lexer only emits INT_LITERAL for complete literals.
+        return int(text, 0)
 
     @property
     def float_value(self) -> float:

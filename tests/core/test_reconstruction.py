@@ -14,6 +14,7 @@ from repro.core import (
     ROWS2,
     ReconstructedImageSampler,
     ReconstructionError,
+    RowTileSampler,
     STENCIL1,
     SchemeError,
     StencilTileSampler,
@@ -155,16 +156,57 @@ class TestSamplers:
         np.testing.assert_array_equal(right[:, -1], natural_image_64[:, -1])
         assert sampler.reads_per_pixel_are_exact()
 
-    def test_row_sampler_matches_reconstructed_image(self, natural_image_64):
-        sampler = make_sampler(natural_image_64, ROWS1, NEAREST_NEIGHBOR, halo=0)
-        assert isinstance(sampler, ReconstructedImageSampler)
+    def test_row_sampler_matches_reconstructed_image_in_tile_interior(
+        self, natural_image_64
+    ):
+        sampler = make_sampler(
+            natural_image_64, ROWS1, NEAREST_NEIGHBOR, tile_y=16, halo=0
+        )
+        assert isinstance(sampler, RowTileSampler)
         expected = reconstruct_rows(natural_image_64, 2, NEAREST_NEIGHBOR, phase=0)
-        np.testing.assert_array_equal(sampler.read_offset(0, 0), expected)
+        interior = [r for r in range(64) if r % 16 != 15]
+        np.testing.assert_array_equal(
+            sampler.read_offset(0, 0)[interior], expected[interior]
+        )
+        # The bottom row of each tile reconstructs from the last row fetched
+        # by the *own* tile (the row above), not the next tile's nearer row.
+        boundary = [r for r in range(64) if r % 16 == 15]
+        np.testing.assert_array_equal(
+            sampler.read_offset(0, 0)[boundary], natural_image_64[[r - 1 for r in boundary]]
+        )
 
     def test_row_sampler_phase_accounts_for_halo(self, natural_image_64):
-        sampler = make_sampler(natural_image_64, ROWS1, NEAREST_NEIGHBOR, halo=1)
+        # With a one-row halo the tile fetch starts one row above the tile,
+        # which shifts the loaded rows to the odd global rows — for the tile
+        # interior this coincides with a phase-1 global reconstruction.
+        sampler = make_sampler(
+            natural_image_64, ROWS1, NEAREST_NEIGHBOR, tile_y=16, halo=1
+        )
         expected = reconstruct_rows(natural_image_64, 2, NEAREST_NEIGHBOR, phase=1)
         np.testing.assert_array_equal(sampler.read_offset(0, 0), expected)
+
+    def test_row_sampler_halo_reads_exact_at_image_border(self, natural_image_64):
+        """The clamped halo fetch duplicates the border row into the halo
+        slot, so the up-read at row 0 serves the original border row."""
+        sampler = make_sampler(
+            natural_image_64, ROWS1, NEAREST_NEIGHBOR, tile_y=16, halo=1
+        )
+        up = sampler.read_offset(0, -1)
+        np.testing.assert_array_equal(up[0], natural_image_64[0])
+
+    def test_column_sampler_transposes_row_semantics(self, natural_image_64):
+        from repro.core.schemes import ColumnPerforation
+
+        sampler = make_sampler(
+            natural_image_64, ColumnPerforation(step=2), NEAREST_NEIGHBOR,
+            tile_x=16, halo=0,
+        )
+        row_sampler = make_sampler(
+            natural_image_64.T, ROWS1, NEAREST_NEIGHBOR, tile_y=16, halo=0
+        )
+        np.testing.assert_array_equal(
+            sampler.read_offset(1, 0), row_sampler.read_offset(0, 1).T
+        )
 
     def test_stencil_sampler_center_reads_are_exact(self, natural_image_64):
         sampler = make_sampler(natural_image_64, STENCIL1, tile_x=16, tile_y=16, halo=1)
