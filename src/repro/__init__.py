@@ -20,7 +20,10 @@ Juurlink; CGO 2018).  The library contains:
 * :mod:`repro.experiments` — one harness per table/figure of the paper;
 * :mod:`repro.api` — the unified session API: the
   :class:`~repro.api.engine.PerforationEngine` facade with registries,
-  result caching and parallel sweeps.
+  result caching and parallel sweeps;
+* :mod:`repro.serve` — quality-aware batch serving: micro-batched
+  vectorized launches, an online perforation controller, a bounded result
+  cache and serving metrics (``docs/serving.md``).
 """
 
 __version__ = "1.1.0"
@@ -35,6 +38,7 @@ __all__ = [
     "data",
     "experiments",
     "kernellang",
+    "serve",
 ]
 
 

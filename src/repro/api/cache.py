@@ -33,18 +33,25 @@ import numpy as np
 #: Default bound on cached reference outputs.  References can be large
 #: (a 1024x1024 float64 image is 8 MiB), so the store is a small LRU: a
 #: sweep or calibration pass only ever needs the references of the inputs
-#: currently in flight.  Timing estimates are tiny and kept unbounded.
+#: currently in flight.
 DEFAULT_MAX_REFERENCES = 32
+
+#: Default bound on cached timing estimates.  Individual estimates are tiny,
+#: but a long-running serving process sweeps an open-ended stream of
+#: (app, config, size) keys, so the store is LRU-bounded too.
+DEFAULT_MAX_TIMINGS = 4096
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`ResultCache`."""
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
 
     reference_hits: int = 0
     reference_misses: int = 0
+    reference_evictions: int = 0
     timing_hits: int = 0
     timing_misses: int = 0
+    timing_evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -54,10 +61,22 @@ class CacheStats:
     def misses(self) -> int:
         return self.reference_misses + self.timing_misses
 
+    @property
+    def evictions(self) -> int:
+        return self.reference_evictions + self.timing_evictions
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def describe(self) -> str:
         return (
-            f"references: {self.reference_hits} hits / {self.reference_misses} misses, "
-            f"timings: {self.timing_hits} hits / {self.timing_misses} misses"
+            f"references: {self.reference_hits} hits / {self.reference_misses} misses "
+            f"/ {self.reference_evictions} evictions, "
+            f"timings: {self.timing_hits} hits / {self.timing_misses} misses "
+            f"/ {self.timing_evictions} evictions"
         )
 
 
@@ -94,13 +113,23 @@ def input_token(inputs: Any) -> Hashable:
 
 
 class ResultCache:
-    """Thread-safe store for reference outputs and timing estimates."""
+    """Thread-safe LRU store for reference outputs and timing estimates.
 
-    def __init__(self, max_references: int | None = DEFAULT_MAX_REFERENCES) -> None:
+    Both stores are bounded (``None`` lifts a bound): ``max_references``
+    caps the potentially large accurate outputs, ``max_timings`` the timing
+    breakdowns.  Evictions, hits and misses are counted in :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        max_references: int | None = DEFAULT_MAX_REFERENCES,
+        max_timings: int | None = DEFAULT_MAX_TIMINGS,
+    ) -> None:
         self._lock = threading.Lock()
         self.max_references = max_references
+        self.max_timings = max_timings
         self._references: OrderedDict[Hashable, np.ndarray] = OrderedDict()
-        self._timings: dict[Hashable, Any] = {}
+        self._timings: OrderedDict[Hashable, Any] = OrderedDict()
         self._reference_locks: dict[Hashable, threading.Lock] = {}
         #: Inputs kept alive for identity keys, keyed by id() so repeat
         #: lookups do not re-pin and eviction can release them.
@@ -150,6 +179,7 @@ class ResultCache:
                     and len(self._references) > self.max_references
                 ):
                     evicted, _ = self._references.popitem(last=False)
+                    self.stats.reference_evictions += 1
                     self._reference_locks.pop(evicted, None)
                     _, evicted_token = evicted
                     if (
@@ -166,11 +196,15 @@ class ResultCache:
         with self._lock:
             if key in self._timings:
                 self.stats.timing_hits += 1
+                self._timings.move_to_end(key)
                 return self._timings[key]
         value = compute()
         with self._lock:
             self._timings.setdefault(key, value)
             self.stats.timing_misses += 1
+            while self.max_timings is not None and len(self._timings) > self.max_timings:
+                self._timings.popitem(last=False)
+                self.stats.timing_evictions += 1
         return value
 
     # ------------------------------------------------------------------

@@ -169,6 +169,24 @@ class Session:
             self.app, inputs, config, backend=self.backend, with_stats=with_stats
         )
 
+    def run_compiled_batch(
+        self,
+        inputs_batch: Sequence,
+        config: ApproximationConfig | None = None,
+        with_stats: bool = False,
+    ):
+        """Micro-batched compiled run of several same-sized inputs.
+
+        Uses the session's selected configuration when ``config`` is not
+        given, and the session's execution backend (falling back to the
+        engine's).  See :meth:`PerforationEngine.run_compiled_batch`.
+        """
+        if config is None:
+            config = self.selected
+        return self.engine.run_compiled_batch(
+            self.app, inputs_batch, config, backend=self.backend, with_stats=with_stats
+        )
+
     def evaluate_many(
         self, inputs, configs: Iterable[ApproximationConfig]
     ) -> list[ConfigurationResult]:

@@ -50,6 +50,12 @@ class ExecutionBackend(abc.ABC):
     #: Registry name of the backend (informational).
     name: str = "backend"
 
+    #: Whether :meth:`run_group_batch` executes the same work group of
+    #: several compatible launches as one stacked group.  Backends without
+    #: batching support still serve batched requests — the executor falls
+    #: back to running the launches one by one.
+    supports_batching: bool = False
+
     @abc.abstractmethod
     def run_group(
         self,
@@ -59,6 +65,27 @@ class ExecutionBackend(abc.ABC):
         group_id: tuple[int, ...],
     ) -> int:
         """Run all work-items of one group; returns the number of barriers."""
+
+    def run_group_batch(
+        self,
+        kernel: Kernel,
+        ctx: KernelContext,
+        ndrange: NDRange,
+        group_id: tuple[int, ...],
+        batch: int,
+    ) -> int:
+        """Run one work group of ``batch`` stacked compatible launches.
+
+        ``ctx`` binds every pointer argument to a
+        :class:`~repro.clsim.memory.SegmentedBuffer` with ``batch``
+        segments.  Returns the *summed* barrier count (``batch`` times the
+        per-launch barriers), so aggregated
+        :class:`~repro.clsim.executor.ExecutionStats` match the sum of the
+        individual launches.  Only called when :attr:`supports_batching`.
+        """
+        raise KernelExecutionError(
+            f"execution backend {self.name!r} does not support batched launches"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -134,10 +161,10 @@ class VectorizedBackend(ExecutionBackend):
     """
 
     name = "vectorized"
+    supports_batching = True
 
-    def run_group(self, kernel, ctx, ndrange, group_id) -> int:
+    def _compiled(self, kernel):
         # Imported lazily: kernellang itself imports repro.clsim.
-        from ..kernellang.errors import KernelLangError
         from ..kernellang.vectorize import vectorized_kernel
 
         if getattr(kernel, "ast_program", None) is None:
@@ -146,7 +173,12 @@ class VectorizedBackend(ExecutionBackend):
                 f"vectorized backend only runs kernels compiled from "
                 f"kernellang source (use the 'interpreter' backend)"
             )
-        compiled = vectorized_kernel(kernel)
+        return vectorized_kernel(kernel)
+
+    def run_group(self, kernel, ctx, ndrange, group_id) -> int:
+        from ..kernellang.errors import KernelLangError
+
+        compiled = self._compiled(kernel)
         try:
             return compiled.run_group(ctx, ndrange, group_id)
         except KernelExecutionError:  # includes BarrierDivergenceError
@@ -154,6 +186,19 @@ class VectorizedBackend(ExecutionBackend):
         except KernelLangError as exc:
             raise KernelExecutionError(
                 f"kernel {kernel.name!r} failed for group {group_id}: {exc}"
+            ) from exc
+
+    def run_group_batch(self, kernel, ctx, ndrange, group_id, batch) -> int:
+        from ..kernellang.errors import KernelLangError
+
+        compiled = self._compiled(kernel)
+        try:
+            return compiled.run_group_batch(ctx, ndrange, group_id, batch)
+        except KernelExecutionError:
+            raise
+        except KernelLangError as exc:
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} failed for batched group {group_id}: {exc}"
             ) from exc
 
 

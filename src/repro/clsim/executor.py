@@ -22,11 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from .backends import ExecutionBackend, resolve_backend
 from .device import Device, firepro_w5100
+from .errors import KernelExecutionError
 from .kernel import Kernel
 from .kernel import KernelContext
-from .memory import AccessCounters, LocalMemory
+from .memory import AccessCounters, Buffer, LocalMemory, SegmentedBuffer
 from .ndrange import NDRange
 
 
@@ -48,6 +51,15 @@ class ExecutionStats:
     @property
     def local_accesses(self) -> int:
         return self.local_counters.total
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another launch's statistics into this one."""
+        self.work_items += other.work_items
+        self.work_groups += other.work_groups
+        self.barriers += other.barriers
+        self.global_counters.merge(other.global_counters)
+        self.local_counters.merge(other.local_counters)
+        self.private_counters.merge(other.private_counters)
 
 
 class Executor:
@@ -110,4 +122,110 @@ class Executor:
         for buf, reads0, writes0 in before:
             stats.global_counters.reads += buf.counters.reads - reads0
             stats.global_counters.writes += buf.counters.writes - writes0
+        return stats
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        kernel: Kernel,
+        ndrange: NDRange,
+        args_batch: Sequence[Mapping[str, object] | Sequence[object]],
+    ) -> ExecutionStats:
+        """Execute one kernel over several compatible argument bindings.
+
+        All launches share the NDRange; every pointer argument must bind to
+        identically shaped (and typed) buffers and every scalar argument to
+        identical values across the batch.  On a backend that supports
+        batching, the per-request buffers are stacked into
+        :class:`~repro.clsim.memory.SegmentedBuffer` arenas and the whole
+        batch executes as *one* launch — each work group runs the stacked
+        lanes of every request together, which amortises the per-group
+        interpretation overhead.  Outputs are written back to the caller's
+        buffers and are bit-identical to running the launches one by one;
+        the returned :class:`ExecutionStats` equal the *sum* of the
+        individual launches' stats.  Backends without batching support fall
+        back to exactly that serial loop.
+        """
+        args_batch = list(args_batch)
+        if not args_batch:
+            raise KernelExecutionError("run_batch requires at least one launch")
+        if len(args_batch) == 1 or not self.backend.supports_batching:
+            stats = ExecutionStats()
+            for args in args_batch:
+                stats.merge(self.run(kernel, ndrange, args))
+            return stats
+
+        ndrange.validate_for_device(self.device)
+        batch = len(args_batch)
+        bound_batch = [kernel.bind_args(args) for args in args_batch]
+        first = bound_batch[0]
+
+        # Stack the per-request buffers into segmented arenas; scalars must
+        # agree across the batch (they are broadcast lane-wide).
+        stacked: dict[str, object] = {}
+        buffer_names: list[str] = []
+        for name, value in first.items():
+            if isinstance(value, Buffer):
+                for bound in bound_batch[1:]:
+                    other = bound[name]
+                    if (
+                        not isinstance(other, Buffer)
+                        or other.shape != value.shape
+                        or other.dtype != value.dtype
+                    ):
+                        raise KernelExecutionError(
+                            f"batched launch requires identically shaped/typed "
+                            f"buffers for argument {name!r}"
+                        )
+                arena = np.concatenate(
+                    [bound[name].array.reshape(-1) for bound in bound_batch]
+                )
+                stacked[name] = SegmentedBuffer(
+                    arena, name=name, segment_elements=value.size, batch=batch
+                )
+                buffer_names.append(name)
+            else:
+                for bound in bound_batch[1:]:
+                    if bound[name] != value:
+                        raise KernelExecutionError(
+                            f"batched launch requires identical scalar values "
+                            f"for argument {name!r} "
+                            f"({value!r} vs {bound[name]!r})"
+                        )
+                stacked[name] = value
+
+        stats = ExecutionStats()
+        arenas = [stacked[name] for name in buffer_names]
+        before = [(b, b.counters.reads, b.counters.writes) for b in arenas]
+
+        # Each request's group still fits the per-CU budget on its own (its
+        # tiles are exactly those of an individual launch); the stacked
+        # group co-locates ``batch`` such groups, so it gets their combined
+        # budget.
+        local = LocalMemory(self.device.local_mem_per_cu * batch)
+        for group_id in ndrange.group_ids():
+            local.reset()
+            ctx = KernelContext(
+                args=dict(stacked), local=local, ndrange=ndrange, group_id=group_id
+            )
+            stats.barriers += self.backend.run_group_batch(
+                kernel, ctx, ndrange, group_id, batch
+            )
+            stats.work_groups += batch
+            stats.local_counters.merge(local.counters)
+            for private in ctx.private.values():
+                stats.private_counters.merge(private.counters)
+
+        stats.work_items = batch * ndrange.total_work_items
+        for arena, reads0, writes0 in before:
+            stats.global_counters.reads += arena.counters.reads - reads0
+            stats.global_counters.writes += arena.counters.writes - writes0
+
+        # Scatter every arena segment back into the caller's buffers (only
+        # outputs change, but copying all of them is cheap and assumes
+        # nothing about which buffers a kernel writes).
+        for name in buffer_names:
+            arena = stacked[name]
+            for index, bound in enumerate(bound_batch):
+                np.copyto(bound[name].array.reshape(-1), arena.segment(index))
         return stats

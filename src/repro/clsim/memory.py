@@ -176,6 +176,45 @@ class Buffer:
         )
 
 
+class SegmentedBuffer(Buffer):
+    """A buffer holding ``batch`` equally sized request segments back to back.
+
+    Batched kernel launches (:meth:`repro.clsim.executor.Executor.run_batch`)
+    stack the per-request buffers of several compatible launches into one
+    contiguous array; request ``r`` owns elements
+    ``[r * segment_elements, (r + 1) * segment_elements)``.  Execution
+    backends that support batching add a per-lane segment base offset to
+    every index, so each request only ever addresses its own segment.
+    """
+
+    def __init__(
+        self, array: np.ndarray, name: str, segment_elements: int, batch: int
+    ) -> None:
+        super().__init__(array, name=name)
+        if segment_elements <= 0 or batch <= 0:
+            raise BufferSizeError(
+                f"segmented buffer {name!r} needs positive segment/batch, got "
+                f"{segment_elements}/{batch}"
+            )
+        if self.size != segment_elements * batch:
+            raise BufferSizeError(
+                f"segmented buffer {name!r} has {self.size} elements, expected "
+                f"{segment_elements} x {batch}"
+            )
+        self.segment_elements = int(segment_elements)
+        self.batch = int(batch)
+
+    def segment(self, index: int) -> np.ndarray:
+        """Flat view of one request's segment."""
+        if not 0 <= index < self.batch:
+            raise BufferOutOfBoundsError(
+                f"segmented buffer {self.name!r}: segment {index} out of range "
+                f"[0, {self.batch})"
+            )
+        n = self.segment_elements
+        return self.array.reshape(-1)[index * n : (index + 1) * n]
+
+
 class LocalMemory:
     """Per-work-group local (LDS / shared) memory.
 

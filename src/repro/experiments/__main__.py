@@ -46,8 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=available_experiments() + ["all"],
-        help="which experiment to run",
+        choices=available_experiments() + ["all", "serve-bench"],
+        help="which experiment to run ('serve-bench' exercises the "
+        "repro.serve batch-serving subsystem)",
     )
     parser.add_argument(
         "--quick",
@@ -77,11 +78,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for compiled-kernel runs "
         "(default: the interpreter backend)",
     )
+    serve = parser.add_argument_group("serve-bench options")
+    serve.add_argument(
+        "--requests", type=int, default=None, help="trace length (serve-bench)"
+    )
+    serve.add_argument(
+        "--size", type=int, default=None, help="input size (serve-bench)"
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None, help="trace seed (serve-bench)"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, help="micro-batch cap (serve-bench)"
+    )
     return parser
 
 
+def _run_serve_bench(args, parser: argparse.ArgumentParser) -> int:
+    from .serve_bench import render, run, write_report
+
+    if args.backend is not None:
+        parser.error(
+            "serve-bench compares the vectorized and interpreter backends "
+            "by design; --backend does not apply"
+        )
+    result = run(
+        quick=args.quick,
+        requests=args.requests,
+        size=args.size,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        device=args.device,
+        workers=args.workers,
+    )
+    path = write_report(result, args.output)
+    print(render(result))
+    print(f"\nreport written to {path}")
+    return 0 if result.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "serve-bench":
+        return _run_serve_bench(args, parser)
     engine = make_engine(device=args.device, workers=args.workers, backend=args.backend)
     if args.experiment == "all":
         if args.output:

@@ -1,0 +1,191 @@
+"""``serve-bench`` — serving-throughput benchmark of the ``repro.serve`` subsystem.
+
+Generates a deterministic mixed multi-application trace
+(:mod:`repro.serve.loadgen`) and serves it twice:
+
+* **batched-vectorized** — the serving fast path: micro-batched stacked
+  launches on the vectorized backend, online controller, result cache;
+* **serial-interpreter** — the baseline: the same trace, one request at a
+  time (``max_batch=1``) on the reference interpreter backend, no result
+  cache (every request executes).
+
+The figure of merit is the throughput ratio; the acceptance bar is >= 5x
+while every completed request's *measured* error stays within its budget
+(strict mode substitutes the accurate output on violation, so this holds
+by construction — the report shows how often that was needed).
+
+Run it via ``python -m repro.experiments serve-bench`` (``--quick`` for the
+CI smoke configuration); the report is also written to
+``benchmarks/results/serve_bench.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..api.engine import PerforationEngine
+from ..serve import PerforationServer, ServeMetrics, TraceSpec, generate_trace
+
+#: Required throughput ratio of batched-vectorized over serial-interpreter.
+REQUIRED_SPEEDUP = 5.0
+
+#: Default location of the written report.
+DEFAULT_RESULTS_PATH = Path("benchmarks") / "results" / "serve_bench.txt"
+
+
+def default_spec(quick: bool = False, **overrides) -> TraceSpec:
+    """The benchmark's trace specification (``quick`` shrinks everything)."""
+    base = dict(requests=10, size=32, inputs_per_app=2) if quick else dict(
+        requests=40, size=64, inputs_per_app=3
+    )
+    base.update({k: v for k, v in overrides.items() if v is not None})
+    return TraceSpec(**base)
+
+
+@dataclass
+class ServeBenchResult:
+    """Everything the report renders."""
+
+    spec: TraceSpec
+    max_batch: int
+    batched: ServeMetrics
+    serial: ServeMetrics
+    batched_within_budget: bool
+    serial_within_budget: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.batched.throughput_rps / self.serial.throughput_rps
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.speedup >= REQUIRED_SPEEDUP
+            and self.batched_within_budget
+            and self.serial_within_budget
+        )
+
+
+def _calibration_inputs(spec: TraceSpec) -> dict:
+    """Calibrate the controller on inputs of the serving size.
+
+    One representative input per application, distinct from the trace's
+    input pools (different seed), so calibration is honest about unseen
+    requests.
+    """
+    from ..data import hotspot_single, single_image
+    from ..data.images import ImageClass
+
+    inputs = {}
+    for app in spec.apps:
+        seed = spec.seed + 5897
+        if app == "hotspot":
+            inputs[app] = [hotspot_single(size=spec.size, seed=seed)]
+        else:
+            inputs[app] = [single_image(ImageClass.NATURAL, size=spec.size, seed=seed)]
+    return inputs
+
+
+def _serve(
+    trace,
+    spec: TraceSpec,
+    backend: str,
+    max_batch: int,
+    cache_capacity: int,
+    device=None,
+    workers: int | str = 1,
+):
+    server = PerforationServer(
+        engine=PerforationEngine(device=device, workers=workers, backend=backend),
+        backend=backend,
+        max_batch=max_batch,
+        calibration_inputs=_calibration_inputs(spec),
+        cache_capacity=cache_capacity,
+        monitor=True,
+        strict=True,
+    )
+    responses = server.run_trace(trace)
+    within = all(r.within_budget for r in responses)
+    return server.metrics, within
+
+
+def run(
+    quick: bool = False,
+    requests: int | None = None,
+    size: int | None = None,
+    seed: int | None = None,
+    max_batch: int = 8,
+    device=None,
+    workers: int | str = 1,
+) -> ServeBenchResult:
+    """Serve the trace on both configurations and collect the metrics.
+
+    ``device``/``workers`` configure the engines of both servers; the
+    backends are fixed by the benchmark's design (vectorized-batched vs.
+    serial-interpreter).
+    """
+    spec = default_spec(quick=quick, requests=requests, size=size, seed=seed)
+    trace = generate_trace(spec)
+    batched, batched_ok = _serve(
+        trace,
+        spec,
+        backend="vectorized",
+        max_batch=max_batch,
+        cache_capacity=256,
+        device=device,
+        workers=workers,
+    )
+    # The baseline forgoes every serving optimisation: no micro-batching,
+    # no result cache, reference interpreter backend.
+    serial, serial_ok = _serve(
+        trace,
+        spec,
+        backend="interpreter",
+        max_batch=1,
+        cache_capacity=0,
+        device=device,
+        workers=workers,
+    )
+    return ServeBenchResult(
+        spec=spec,
+        max_batch=max_batch,
+        batched=batched,
+        serial=serial,
+        batched_within_budget=batched_ok,
+        serial_within_budget=serial_ok,
+    )
+
+
+def render(result: ServeBenchResult) -> str:
+    spec = result.spec
+    lines = [
+        "serve-bench: micro-batched vectorized serving vs one-at-a-time "
+        "interpreter serving",
+        f"trace: {spec.requests} requests over {len(spec.apps)} apps "
+        f"({', '.join(spec.apps)}), {spec.size}x{spec.size} inputs, "
+        f"{spec.arrival_rate_hz:g} req/s arrivals, seed {spec.seed}; "
+        f"max batch {result.max_batch}",
+        "",
+        "[batched-vectorized]",
+        result.batched.describe(),
+        "",
+        "[serial-interpreter]",
+        result.serial.describe(),
+        "",
+        f"throughput speedup: {result.speedup:.2f}x "
+        f"(required >= {REQUIRED_SPEEDUP:g}x)",
+        f"all completed requests within error budget: "
+        f"batched={result.batched_within_budget}, "
+        f"serial={result.serial_within_budget}",
+        f"result: {'PASS' if result.passed else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(result: ServeBenchResult, path: str | Path | None = None) -> Path:
+    """Write the rendered report under ``benchmarks/results/``."""
+    path = Path(path) if path is not None else DEFAULT_RESULTS_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render(result) + "\n")
+    return path

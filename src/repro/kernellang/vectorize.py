@@ -49,7 +49,7 @@ import numpy as np
 
 from ..clsim.errors import BarrierDivergenceError
 from ..clsim.kernel import Kernel, KernelContext
-from ..clsim.memory import Buffer
+from ..clsim.memory import Buffer, SegmentedBuffer
 from . import ast
 from .builtins import (
     BUILTIN_CONSTANTS,
@@ -228,6 +228,62 @@ class _VPrivate:
         )[mask]
 
 
+class _VSegmentedGlobal:
+    """Masked gather/scatter into per-request segments of a batched buffer.
+
+    Used by batched launches: lane ``l`` belongs to request
+    ``lane_request[l]`` and addresses that request's segment of the stacked
+    :class:`~repro.clsim.memory.SegmentedBuffer`, so per-request indexing
+    (and bounds checking) is exactly that of an individual launch.
+    """
+
+    def __init__(self, buffer: SegmentedBuffer, base: np.ndarray) -> None:
+        self.buffer = buffer
+        self._flat = buffer.array.reshape(-1)
+        self._segment = buffer.segment_elements
+        self._base = base
+        self._what = f"global buffer {buffer.name!r}"
+
+    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        _check_bounds(self._what, index, mask, self._segment)
+        self.buffer.record_reads(int(mask.sum()))
+        return self._flat[np.where(mask, index + self._base, 0)].astype(_FLOAT)
+
+    def store(self, index: np.ndarray, value: np.ndarray, mask: np.ndarray) -> None:
+        _check_bounds(self._what, index, mask, self._segment)
+        self.buffer.record_writes(int(mask.sum()))
+        self._flat[(index + self._base)[mask]] = np.asarray(value, dtype=_FLOAT)[mask]
+
+
+class _VSegmentedLocal:
+    """Per-request local tiles of a batched group, stacked back to back.
+
+    Each request's group gets its own ``length``-element tile (request ``r``
+    owns ``[r * length, (r + 1) * length)`` of one shared allocation), so
+    staging and reconstruction never mix data across batched requests.
+    """
+
+    def __init__(self, ctx: KernelContext, name: str, length: int, base: np.ndarray, batch: int) -> None:
+        self.ctx = ctx
+        self.name = name
+        self.length = length
+        self._base = base
+        self._what = f"local array {name!r}"
+        ctx.local.allocate(name, (batch * length,), dtype=_FLOAT)
+
+    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        _check_bounds(self._what, index, mask, self.length)
+        tile = self.ctx.local.tile(self.name)
+        self.ctx.local.record_reads(int(mask.sum()))
+        return tile[np.where(mask, index + self._base, 0)].astype(_FLOAT)
+
+    def store(self, index: np.ndarray, value: np.ndarray, mask: np.ndarray) -> None:
+        _check_bounds(self._what, index, mask, self.length)
+        tile = self.ctx.local.tile(self.name)
+        self.ctx.local.record_writes(int(mask.sum()))
+        tile[(index + self._base)[mask]] = np.asarray(value, dtype=_FLOAT)[mask]
+
+
 class _VConstant:
     """A file-scope ``__constant`` array (read-only, shared by all lanes)."""
 
@@ -244,7 +300,14 @@ class _VConstant:
         raise InterpreterError(f"constant array {self.name!r} is read-only")
 
 
-_CONTAINERS = (_VGlobal, _VLocal, _VPrivate, _VConstant)
+_CONTAINERS = (
+    _VGlobal,
+    _VLocal,
+    _VPrivate,
+    _VConstant,
+    _VSegmentedGlobal,
+    _VSegmentedLocal,
+)
 
 
 class _Flow:
@@ -300,6 +363,29 @@ class VectorizedKernel:
             state.exec_block(self.kernel_def.body, env, flow, mask)
         return state.barriers
 
+    def run_group_batch(
+        self, ctx: KernelContext, ndrange, group_id: tuple[int, ...], batch: int
+    ) -> int:
+        """Run one work group of ``batch`` stacked compatible launches.
+
+        Request ``r`` occupies lanes ``[r * group_size, (r + 1) * group_size)``
+        of one SIMT group; every pointer argument of ``ctx`` must be a
+        :class:`~repro.clsim.memory.SegmentedBuffer` with ``batch`` segments.
+        Per-lane results are bit-identical to ``batch`` individual
+        :meth:`run_group` calls because lanes never interact: index arrays,
+        scalars and control-flow masks are per lane, and memory views route
+        each lane into its own request's buffer/tile segment.  Returns the
+        summed barrier count (``batch`` times the per-launch barriers).
+        """
+        work_items = list(ndrange.work_items_in_group(group_id))
+        state = _BatchedGroupState(self, ctx, ndrange, work_items, batch)
+        mask = np.ones(state.lanes, dtype=bool)
+        flow = _Flow(state.lanes)
+        env = state.build_environment()
+        with np.errstate(all="ignore"):
+            state.exec_block(self.kernel_def.body, env, flow, mask)
+        return state.barriers * batch
+
 
 class _GroupState:
     """Mutable execution state of one work group."""
@@ -328,6 +414,14 @@ class _GroupState:
         dtype = _INT if isinstance(value, (int, np.integer)) else _FLOAT
         return np.full(self.lanes, value, dtype=dtype)
 
+    # Container-construction hooks (overridden by _BatchedGroupState to
+    # route every lane into its own request's buffer/tile segment).
+    def _global_view(self, buffer: Buffer):
+        return _VGlobal(buffer)
+
+    def _local_view(self, name: str, length: int):
+        return _VLocal(self.ctx, name, length)
+
     def build_environment(self) -> dict[str, object]:
         env: dict[str, object] = {}
         for name, value in self.kernel.constants.items():
@@ -339,7 +433,7 @@ class _GroupState:
             value = self.ctx.arg(param.name)
             if isinstance(param.param_type, PointerType):
                 if isinstance(value, Buffer):
-                    env[param.name] = _VGlobal(value)
+                    env[param.name] = self._global_view(value)
                 else:
                     raise InterpreterError(
                         f"pointer argument {param.name!r} must be bound to a Buffer"
@@ -475,7 +569,7 @@ class _GroupState:
                     f"array {decl.name!r} must have a positive size, got {length}"
                 )
             if decl.address_space == "local":
-                env[decl.name] = _VLocal(self.ctx, decl.name, length)
+                env[decl.name] = self._local_view(decl.name, length)
             else:
                 array = _VPrivate(decl.name, length, self.lanes)
                 if isinstance(decl.init, ast.InitList):
@@ -760,6 +854,40 @@ class _GroupState:
         if callee_flow.return_value is None:
             return np.zeros(self.lanes, dtype=_INT)
         return callee_flow.return_value
+
+
+class _BatchedGroupState(_GroupState):
+    """Execution state of one work group of ``batch`` stacked launches.
+
+    The lane dimension is the concatenation of the group's work-items for
+    every request: request ``r`` occupies lanes
+    ``[r * group_size, (r + 1) * group_size)``, with identical gid/lid
+    index arrays per request (the launches share one NDRange).  Global
+    buffers must be :class:`~repro.clsim.memory.SegmentedBuffer` stacks and
+    local tiles are allocated per request, so lanes of different requests
+    can never observe each other's data.
+    """
+
+    def __init__(self, kernel, ctx, ndrange, work_items, batch: int) -> None:
+        if batch <= 0:
+            raise InterpreterError(f"batch must be positive, got {batch}")
+        super().__init__(kernel, ctx, ndrange, list(work_items) * batch)
+        self.batch = batch
+        group_size = self.lanes // batch
+        self.lane_request = np.repeat(np.arange(batch, dtype=_INT), group_size)
+
+    def _global_view(self, buffer: Buffer):
+        if not isinstance(buffer, SegmentedBuffer) or buffer.batch != self.batch:
+            raise InterpreterError(
+                f"batched launch requires every pointer argument to be a "
+                f"SegmentedBuffer with {self.batch} segments, got {buffer!r}"
+            )
+        return _VSegmentedGlobal(buffer, self.lane_request * buffer.segment_elements)
+
+    def _local_view(self, name: str, length: int):
+        return _VSegmentedLocal(
+            self.ctx, name, length, self.lane_request * length, self.batch
+        )
 
 
 # ---------------------------------------------------------------------------

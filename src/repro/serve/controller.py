@@ -1,0 +1,230 @@
+"""Online perforation controller.
+
+The controller owns the serving-time *policy* half of the paper's
+quality-aware runtime: which :class:`~repro.core.config.ApproximationConfig`
+should a given application's requests run with, under a given error budget?
+
+It starts where :meth:`Session.calibrate <repro.api.session.Session.calibrate>`
+ends: each application is calibrated once (offline-style, on representative
+inputs) into a *ladder* of configurations sorted fastest-first, terminated
+by the accurate configuration (error 0, speedup 1).  Per (application,
+budget) stream the controller then walks that ladder online from monitored
+quality feedback:
+
+* **tighten** — when the exponentially weighted moving average of the
+  measured error drifts above the budget, step down the ladder to the next
+  configuration whose calibrated error is strictly lower (ultimately the
+  accurate configuration, which cannot violate);
+* **loosen** — when the EWMA sits well below the budget
+  (``ewma < loosen_headroom * budget``) for at least ``min_dwell``
+  observations, step back up to the nearest faster configuration that
+  calibration deems admissible under the budget.
+
+Every decision is a pure function of the observation sequence, so a
+replayed trace reproduces the exact same configuration choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.config import ACCURATE_CONFIG, ApproximationConfig
+from ..core.errors import TuningError
+
+
+@dataclass(frozen=True)
+class ControllerPolicy:
+    """Knobs of the online controller."""
+
+    #: Calibration safety margin: a configuration is admissible when
+    #: ``mean_error * (1 + safety_margin) <= budget`` (same rule as
+    #: :meth:`repro.api.session.CalibrationEntry.admissible`).
+    safety_margin: float = 0.25
+    #: Smoothing factor of the measured-error EWMA.
+    ewma_alpha: float = 0.25
+    #: Loosen only when ``ewma < loosen_headroom * budget``.
+    loosen_headroom: float = 0.4
+    #: Minimum observations on the current configuration before loosening.
+    min_dwell: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise TuningError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if not 0.0 <= self.loosen_headroom < 1.0:
+            raise TuningError(
+                f"loosen_headroom must be in [0, 1), got {self.loosen_headroom}"
+            )
+        if self.min_dwell < 1:
+            raise TuningError(f"min_dwell must be >= 1, got {self.min_dwell}")
+
+
+@dataclass(frozen=True)
+class LadderEntry:
+    """One rung of an application's configuration ladder."""
+
+    config: ApproximationConfig
+    mean_error: float
+    speedup: float
+
+    def admissible(self, budget: float, safety_margin: float) -> bool:
+        return self.mean_error * (1.0 + safety_margin) <= budget
+
+
+@dataclass
+class _StreamState:
+    """Controller state of one (application, budget) request stream."""
+
+    index: int
+    ewma: float | None = None
+    since_switch: int = 0
+    switches: int = 0
+    tightened: int = 0
+    loosened: int = 0
+
+
+class OnlineController:
+    """Chooses and adapts the configuration per (application, budget) stream.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.api.engine.PerforationEngine` used for
+        calibration sweeps (shared with the server, so references and
+        timings are cached once).
+    policy:
+        The adaptation knobs (:class:`ControllerPolicy`).
+    calibration_inputs:
+        Optional mapping of application name to the representative inputs
+        calibration should sweep; applications without an entry calibrate
+        on the session's default sample input.
+    """
+
+    def __init__(
+        self,
+        engine,
+        policy: ControllerPolicy | None = None,
+        calibration_inputs: Mapping[str, Sequence] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.policy = policy or ControllerPolicy()
+        self.calibration_inputs = dict(calibration_inputs or {})
+        self._ladders: dict[str, list[LadderEntry]] = {}
+        self._streams: dict[tuple[str, float], _StreamState] = {}
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def ladder(self, app_name: str) -> list[LadderEntry]:
+        """The application's calibrated ladder (computed once, fastest first).
+
+        The final rung is always the accurate configuration, so tightening
+        terminates at a configuration that cannot violate any budget.
+        """
+        cached = self._ladders.get(app_name)
+        if cached is not None:
+            return cached
+        session = self.engine.session(
+            app=app_name,
+            error_budget=1.0,  # selection is ours; calibrate() just needs a budget
+            safety_margin=self.policy.safety_margin,
+        )
+        entries = session.calibrate(self.calibration_inputs.get(app_name))
+        ladder = [
+            LadderEntry(
+                config=entry.config,
+                mean_error=entry.mean_error,
+                speedup=entry.speedup,
+            )
+            for entry in entries  # already sorted fastest-first
+        ]
+        ladder.append(LadderEntry(config=ACCURATE_CONFIG, mean_error=0.0, speedup=1.0))
+        self._ladders[app_name] = ladder
+        return ladder
+
+    def _stream(self, app_name: str, budget: float) -> _StreamState:
+        if budget <= 0:
+            raise TuningError(f"error budget must be positive, got {budget}")
+        key = (app_name, budget)
+        state = self._streams.get(key)
+        if state is None:
+            ladder = self.ladder(app_name)
+            index = next(
+                (
+                    i
+                    for i, entry in enumerate(ladder)
+                    if entry.admissible(budget, self.policy.safety_margin)
+                ),
+                len(ladder) - 1,  # the accurate rung
+            )
+            state = self._streams[key] = _StreamState(index=index)
+        return state
+
+    # ------------------------------------------------------------------
+    # Online operation
+    # ------------------------------------------------------------------
+    def choose(self, app_name: str, budget: float) -> ApproximationConfig:
+        """The configuration the stream's next request should run with."""
+        state = self._stream(app_name, budget)
+        return self.ladder(app_name)[state.index].config
+
+    def observe(self, app_name: str, budget: float, error: float) -> None:
+        """Feed one request's measured error back into the stream's state."""
+        state = self._stream(app_name, budget)
+        ladder = self.ladder(app_name)
+        alpha = self.policy.ewma_alpha
+        state.ewma = error if state.ewma is None else alpha * error + (1 - alpha) * state.ewma
+        state.since_switch += 1
+
+        if state.ewma > budget:
+            self._tighten(state, ladder)
+        elif (
+            state.index > 0
+            and state.since_switch >= self.policy.min_dwell
+            and state.ewma < self.policy.loosen_headroom * budget
+        ):
+            self._loosen(state, ladder, budget)
+
+    def _switch(self, state: _StreamState, index: int) -> None:
+        state.index = index
+        state.ewma = None  # fresh observation window for the new config
+        state.since_switch = 0
+        state.switches += 1
+
+    def _tighten(self, state: _StreamState, ladder: list[LadderEntry]) -> None:
+        """Step to the next more accurate rung (exists: the last rung is 0)."""
+        current = ladder[state.index]
+        for index in range(state.index + 1, len(ladder)):
+            if ladder[index].mean_error < current.mean_error:
+                self._switch(state, index)
+                state.tightened += 1
+                return
+
+    def _loosen(
+        self, state: _StreamState, ladder: list[LadderEntry], budget: float
+    ) -> None:
+        """Step back to the nearest faster admissible rung, if any."""
+        for index in range(state.index - 1, -1, -1):
+            if ladder[index].admissible(budget, self.policy.safety_margin):
+                self._switch(state, index)
+                state.loosened += 1
+                return
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-stream view of the controller's current decisions."""
+        return {
+            f"{app}@{budget:g}": {
+                "config": self.ladder(app)[state.index].config.label,
+                "switches": state.switches,
+                "tightened": state.tightened,
+                "loosened": state.loosened,
+            }
+            for (app, budget), state in sorted(self._streams.items())
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<OnlineController apps={sorted(self._ladders)} "
+            f"streams={len(self._streams)}>"
+        )

@@ -1,0 +1,108 @@
+"""Synthetic load generator for the serving benchmark.
+
+Builds deterministic mixed-application request traces: Poisson arrivals
+(exponential inter-arrival times), a small pool of distinct inputs per
+application (so the result cache sees realistic repetition), and per-request
+error budgets and priorities drawn from configurable mixes.  Everything is
+driven by one :class:`numpy.random.Generator` seed — the same
+:class:`TraceSpec` always yields the same trace, which the scheduler
+determinism suite relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .requests import ServeRequest
+
+#: The mixed 5-application workload of the serving benchmark.
+DEFAULT_SERVE_APPS: tuple[str, ...] = (
+    "gaussian",
+    "sobel3",
+    "hotspot",
+    "median",
+    "inversion",
+)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of one synthetic request trace."""
+
+    apps: tuple[str, ...] = DEFAULT_SERVE_APPS
+    requests: int = 40
+    #: Square input size (width == height); must be divisible by the
+    #: configurations' work-group dimensions (16 by default).
+    size: int = 64
+    #: Mean arrival rate of the Poisson process (requests per second).
+    arrival_rate_hz: float = 100.0
+    #: Error budgets requests draw from (uniformly).
+    error_budgets: tuple[float, ...] = (0.01, 0.025, 0.05)
+    #: Priorities requests draw from (uniformly).
+    priorities: tuple[int, ...] = (0, 0, 0, 1)
+    #: Distinct inputs per application (smaller pool ⇒ more cache hits).
+    inputs_per_app: int = 3
+    #: Optional per-request latency budget (milliseconds).
+    latency_budget_ms: float | None = None
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError(f"requests must be >= 1, got {self.requests}")
+        if not self.apps:
+            raise ConfigurationError("apps must not be empty")
+        if self.arrival_rate_hz <= 0:
+            raise ConfigurationError(
+                f"arrival_rate_hz must be positive, got {self.arrival_rate_hz}"
+            )
+        if self.inputs_per_app < 1:
+            raise ConfigurationError(
+                f"inputs_per_app must be >= 1, got {self.inputs_per_app}"
+            )
+
+
+def _input_pool(app: str, app_index: int, spec: TraceSpec) -> list[Any]:
+    """Deterministic pool of distinct inputs for one application."""
+    from ..data import hotspot_single, single_image
+    from ..data.images import ImageClass
+
+    pool: list[Any] = []
+    for index in range(spec.inputs_per_app):
+        # Stable per-(app, index) seed: no hash(), which is salted per process.
+        seed = spec.seed * 1000 + app_index * 101 + index
+        if app == "hotspot":
+            pool.append(hotspot_single(size=spec.size, seed=seed))
+        else:
+            pool.append(single_image(ImageClass.NATURAL, size=spec.size, seed=seed))
+    return pool
+
+
+def generate_trace(spec: TraceSpec) -> list[ServeRequest]:
+    """Generate the request trace described by ``spec`` (same spec ⇒ same trace)."""
+    rng = np.random.default_rng(spec.seed)
+    pools = {app: _input_pool(app, i, spec) for i, app in enumerate(spec.apps)}
+
+    requests: list[ServeRequest] = []
+    now_ms = 0.0
+    for request_id in range(spec.requests):
+        now_ms += float(rng.exponential(1000.0 / spec.arrival_rate_hz))
+        app = spec.apps[int(rng.integers(len(spec.apps)))]
+        pool = pools[app]
+        requests.append(
+            ServeRequest(
+                request_id=request_id,
+                app=app,
+                inputs=pool[int(rng.integers(len(pool)))],
+                error_budget=float(
+                    spec.error_budgets[int(rng.integers(len(spec.error_budgets)))]
+                ),
+                arrival_ms=now_ms,
+                latency_budget_ms=spec.latency_budget_ms,
+                priority=int(spec.priorities[int(rng.integers(len(spec.priorities)))]),
+            )
+        )
+    return requests

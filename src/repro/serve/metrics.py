@@ -1,0 +1,184 @@
+"""Serving metrics: throughput, latency percentiles, selections, quality.
+
+:class:`ServeMetrics` accumulates per-response observations and summarises
+them for reports and tests.  Two kinds of quantities live here:
+
+* **deterministic** counters — completed/violation/fallback/cache counts,
+  per-application and per-configuration selection counts, batch-size
+  histogram, measured errors.  These are pure functions of the trace and
+  are what the determinism suite compares (:meth:`deterministic_snapshot`);
+* **wall-clock** quantities — service times, latency percentiles,
+  throughput — which vary run to run and are reported but never asserted
+  bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from .requests import ServeResponse
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of ``values``."""
+    if not values:
+        return math.nan
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of one latency component (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "LatencySummary":
+        if not values:
+            return cls(count=0, mean_ms=math.nan, p50_ms=math.nan, p95_ms=math.nan, max_ms=math.nan)
+        return cls(
+            count=len(values),
+            mean_ms=sum(values) / len(values),
+            p50_ms=percentile(values, 0.50),
+            p95_ms=percentile(values, 0.95),
+            max_ms=max(values),
+        )
+
+    def describe(self) -> str:
+        if self.count == 0:
+            return "n/a"
+        return (
+            f"mean {self.mean_ms:8.2f} ms  p50 {self.p50_ms:8.2f} ms  "
+            f"p95 {self.p95_ms:8.2f} ms  max {self.max_ms:8.2f} ms"
+        )
+
+
+class ServeMetrics:
+    """Accumulates the server's observable behaviour."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.violations = 0  # budget violations measured pre-fallback
+        self.fallbacks = 0
+        self.cache_hits = 0
+        self.batches = 0
+        self.per_app: Counter[str] = Counter()
+        self.per_config: Counter[str] = Counter()
+        self.batch_sizes: Counter[int] = Counter()
+        self.queue_delays_ms: list[float] = []
+        self.service_times_ms: list[float] = []
+        self.latencies_ms: list[float] = []
+        self.errors: list[float] = []
+        #: max over completed requests of measured error / budget (served output).
+        self.worst_budget_fraction = 0.0
+        self.wall_time_s: float | None = None
+
+    # ------------------------------------------------------------------
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batch_sizes[size] += 1
+
+    def record_response(self, response: ServeResponse, budget: float) -> None:
+        self.completed += 1
+        self.per_app[response.app] += 1
+        self.per_config[response.config_label] += 1
+        if response.fallback:
+            self.fallbacks += 1
+        if response.cache_hit:
+            self.cache_hits += 1
+        self.queue_delays_ms.append(response.queue_delay_ms)
+        self.service_times_ms.append(response.service_time_ms)
+        self.latencies_ms.append(response.latency_ms)
+        if response.error is not None:
+            self.errors.append(response.error)
+            self.worst_budget_fraction = max(
+                self.worst_budget_fraction, response.error / budget
+            )
+            if not response.within_budget:
+                self.violations += 1
+
+    def record_violation(self) -> None:
+        """A pre-fallback budget violation (the served output was replaced)."""
+        self.violations += 1
+
+    def finish(self, wall_time_s: float) -> None:
+        self.wall_time_s = wall_time_s
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_rps(self) -> float:
+        if not self.wall_time_s:
+            return math.nan
+        return self.completed / self.wall_time_s
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return math.nan
+        return sum(size * n for size, n in self.batch_sizes.items()) / self.batches
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    def latency_summary(self) -> LatencySummary:
+        return LatencySummary.from_values(self.latencies_ms)
+
+    def queue_delay_summary(self) -> LatencySummary:
+        return LatencySummary.from_values(self.queue_delays_ms)
+
+    def service_time_summary(self) -> LatencySummary:
+        return LatencySummary.from_values(self.service_times_ms)
+
+    # ------------------------------------------------------------------
+    def deterministic_snapshot(self) -> dict:
+        """The trace-determined portion of the metrics (no wall-clock)."""
+        return {
+            "completed": self.completed,
+            "violations": self.violations,
+            "fallbacks": self.fallbacks,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "per_app": dict(sorted(self.per_app.items())),
+            "per_config": dict(sorted(self.per_config.items())),
+            "batch_sizes": dict(sorted(self.batch_sizes.items())),
+            "errors": list(self.errors),
+            "worst_budget_fraction": self.worst_budget_fraction,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"completed {self.completed} requests in {self.batches} batches "
+            f"(mean batch {self.mean_batch_size:.2f})",
+        ]
+        if self.wall_time_s is not None:
+            lines.append(
+                f"throughput: {self.throughput_rps:.2f} req/s "
+                f"({self.wall_time_s:.2f} s wall)"
+            )
+        lines.append(f"latency:     {self.latency_summary().describe()}")
+        lines.append(f"queue delay: {self.queue_delay_summary().describe()}")
+        lines.append(f"service:     {self.service_time_summary().describe()}")
+        lines.append(
+            f"quality: {self.violations} violations, {self.fallbacks} accurate "
+            f"fallbacks, worst error/budget {self.worst_budget_fraction:.2f}"
+        )
+        lines.append(f"cache: {self.cache_hits} hits ({self.cache_hit_rate:.1%} of requests)")
+        selections = ", ".join(
+            f"{label}={count}" for label, count in sorted(self.per_config.items())
+        )
+        lines.append(f"selections: {selections or 'none'}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ServeMetrics completed={self.completed} batches={self.batches}>"

@@ -1,0 +1,97 @@
+"""ResultCache bounds: LRU capacity, eviction/hit/miss statistics."""
+
+import numpy as np
+import pytest
+
+from repro.api.cache import (
+    DEFAULT_MAX_REFERENCES,
+    DEFAULT_MAX_TIMINGS,
+    CacheStats,
+    ResultCache,
+)
+
+
+class TestReferenceBound:
+    def test_reference_lru_eviction_counted(self):
+        cache = ResultCache(max_references=2)
+        for i in range(3):
+            cache.reference("app", np.full((2, 2), i, dtype=float), lambda i=i: np.full(1, i))
+        assert cache.stats.reference_misses == 3
+        assert cache.stats.reference_evictions == 1
+        # the first input was evicted: recomputing it is a miss again
+        cache.reference("app", np.full((2, 2), 0, dtype=float), lambda: np.full(1, 0))
+        assert cache.stats.reference_misses == 4
+
+    def test_reference_lru_keeps_recently_used(self):
+        cache = ResultCache(max_references=2)
+        a, b, c = (np.full((2, 2), i, dtype=float) for i in range(3))
+        cache.reference("app", a, lambda: np.zeros(1))
+        cache.reference("app", b, lambda: np.zeros(1))
+        cache.reference("app", a, lambda: np.zeros(1))  # refresh a
+        cache.reference("app", c, lambda: np.zeros(1))  # evicts b
+        hits_before = cache.stats.reference_hits
+        cache.reference("app", a, lambda: np.zeros(1))
+        assert cache.stats.reference_hits == hits_before + 1
+
+    def test_unbounded_references(self):
+        cache = ResultCache(max_references=None)
+        for i in range(50):
+            cache.reference("app", np.full((1,), i, dtype=float), lambda: np.zeros(1))
+        assert cache.stats.reference_evictions == 0
+
+
+class TestTimingBound:
+    def test_timing_lru_capacity(self):
+        cache = ResultCache(max_timings=2)
+        for key in ("a", "b", "c"):
+            cache.timing(key, lambda key=key: key.upper())
+        assert cache.stats.timing_misses == 3
+        assert cache.stats.timing_evictions == 1
+        # "a" was evicted, "c" is still present
+        assert cache.timing("c", lambda: "fresh") == "C"
+        assert cache.timing("a", lambda: "recomputed") == "recomputed"
+        assert cache.stats.timing_misses == 4
+
+    def test_timing_lru_refresh_on_hit(self):
+        cache = ResultCache(max_timings=2)
+        cache.timing("a", lambda: 1)
+        cache.timing("b", lambda: 2)
+        cache.timing("a", lambda: -1)  # hit refreshes "a"
+        cache.timing("c", lambda: 3)  # evicts "b"
+        assert cache.timing("a", lambda: -1) == 1
+        assert cache.timing("b", lambda: 20) == 20  # recomputed
+
+    def test_default_bounds(self):
+        cache = ResultCache()
+        assert cache.max_references == DEFAULT_MAX_REFERENCES
+        assert cache.max_timings == DEFAULT_MAX_TIMINGS
+
+
+class TestStats:
+    def test_aggregates_and_hit_rate(self):
+        stats = CacheStats(
+            reference_hits=3,
+            reference_misses=1,
+            reference_evictions=2,
+            timing_hits=1,
+            timing_misses=3,
+            timing_evictions=4,
+        )
+        assert stats.hits == 4
+        assert stats.misses == 4
+        assert stats.evictions == 6
+        assert stats.hit_rate == pytest.approx(0.5)
+        text = stats.describe()
+        assert "evictions" in text
+
+    def test_empty_hit_rate(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_clear_resets_counters(self):
+        cache = ResultCache(max_timings=1)
+        cache.timing("a", lambda: 1)
+        cache.timing("b", lambda: 2)
+        assert cache.stats.timing_evictions == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.timing_evictions == 0

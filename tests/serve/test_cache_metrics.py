@@ -1,0 +1,124 @@
+"""Serve result cache (bounded LRU) and metrics accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve import ServeMetrics, ServeResponse, ServeResultCache
+from repro.serve.metrics import LatencySummary, percentile
+
+
+class TestServeResultCache:
+    def test_hit_after_put(self):
+        cache = ServeResultCache(capacity=4)
+        image = np.arange(9.0).reshape(3, 3)
+        key = cache.key("gaussian", "Rows1:NN", image)
+        assert cache.get(key) is None
+        cache.put(key, np.ones((3, 3)), 0.01)
+        output, error = cache.get(key)
+        np.testing.assert_array_equal(output, np.ones((3, 3)))
+        assert error == 0.01
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_key_distinguishes_app_config_and_content(self):
+        cache = ServeResultCache()
+        image = np.ones((3, 3))
+        base = cache.key("gaussian", "Rows1:NN", image)
+        assert cache.key("sobel3", "Rows1:NN", image) != base
+        assert cache.key("gaussian", "Rows2:NN", image) != base
+        assert cache.key("gaussian", "Rows1:NN", 2 * image) != base
+        assert cache.key("gaussian", "Rows1:NN", image.copy()) == base
+
+    def test_lru_eviction_order(self):
+        cache = ServeResultCache(capacity=2)
+        keys = [cache.key("a", "c", np.full((2, 2), i, dtype=float)) for i in range(3)]
+        cache.put(keys[0], np.zeros(1), None)
+        cache.put(keys[1], np.zeros(1), None)
+        assert cache.get(keys[0]) is not None  # refresh key 0
+        cache.put(keys[2], np.zeros(1), None)  # evicts key 1 (LRU)
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_cached_outputs_are_read_only(self):
+        cache = ServeResultCache()
+        key = cache.key("a", "c", np.zeros((2, 2)))
+        cache.put(key, np.zeros((2, 2)), None)
+        output, _ = cache.get(key)
+        with pytest.raises(ValueError):
+            output[0, 0] = 1.0
+
+    def test_unfingerprintable_inputs_bypass(self):
+        cache = ServeResultCache()
+        key = cache.key("a", "c", object())
+        assert key is None
+        assert cache.get(key) is None  # counted as a miss
+        cache.put(key, np.zeros(1), None)  # no-op
+        assert len(cache) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ServeResultCache(capacity=0)
+
+
+def _response(request_id=0, app="gaussian", label="Rows1:NN", error=0.01, **kw):
+    defaults = dict(
+        output=np.zeros(1),
+        within_budget=True,
+        batch_size=2,
+        queue_delay_ms=10.0,
+        service_time_ms=5.0,
+    )
+    defaults.update(kw)
+    return ServeResponse(
+        request_id=request_id, app=app, config_label=label, error=error, **defaults
+    )
+
+
+class TestServeMetrics:
+    def test_percentiles_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 1.0) == 100.0
+        assert math.isnan(percentile([], 0.5))
+        summary = LatencySummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.p50_ms == 2.0 and summary.max_ms == 4.0
+
+    def test_counters_and_snapshot(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(2)
+        metrics.record_response(_response(0, error=0.01), budget=0.05)
+        metrics.record_response(
+            _response(1, app="sobel3", label="Accurate", error=0.0, cache_hit=True),
+            budget=0.05,
+        )
+        metrics.record_violation()
+        metrics.finish(wall_time_s=0.5)
+
+        assert metrics.completed == 2
+        assert metrics.cache_hits == 1
+        assert metrics.violations == 1
+        assert metrics.throughput_rps == pytest.approx(4.0)
+        assert metrics.mean_batch_size == pytest.approx(2.0)
+        assert metrics.worst_budget_fraction == pytest.approx(0.2)
+
+        snapshot = metrics.deterministic_snapshot()
+        assert snapshot["per_app"] == {"gaussian": 1, "sobel3": 1}
+        assert snapshot["per_config"] == {"Accurate": 1, "Rows1:NN": 1}
+        assert snapshot["batch_sizes"] == {2: 1}
+        assert "wall" not in snapshot  # no wall-clock quantities
+
+        text = metrics.describe()
+        assert "throughput" in text and "Rows1:NN=1" in text
+
+    def test_unmonitored_responses_have_no_error_stats(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(1)
+        metrics.record_response(_response(0, error=None), budget=0.05)
+        assert metrics.errors == []
+        assert metrics.violations == 0
+        assert metrics.worst_budget_fraction == 0.0
