@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate.
+
+Compares the machine-readable benchmark records emitted by the backend
+benchmarks (``benchmarks/results/*.json``, written by ``pytest benchmarks``)
+against the committed baseline (``benchmarks/baseline.json``).  A result
+regresses when its ``speedup`` falls below
+
+    max(required_speedup, baseline_speedup * (1 - tolerance))
+
+i.e. the hard acceptance floor always applies, and on top of it the
+recorded baseline may only erode by ``--tolerance`` (default 50% — CI
+machines are noisy, speedup *ratios* less so).  Missing results for a
+baselined benchmark fail too: a benchmark that silently stops running is
+itself a regression.
+
+Usage:
+    python benchmarks/check_regression.py                # gate (CI)
+    python benchmarks/check_regression.py --tolerance 0.3
+    python benchmarks/check_regression.py --write-baseline  # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+BASELINE_PATH = BENCH_DIR / "baseline.json"
+RESULTS_DIR = BENCH_DIR / "results"
+
+DEFAULT_TOLERANCE = 0.5
+
+
+def load_results() -> dict[str, dict]:
+    """All machine-readable records under ``results/``, keyed by benchmark."""
+    records: dict[str, dict] = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable result {path.name}: {exc}")
+            continue
+        name = record.get("benchmark", path.stem)
+        records[name] = record
+    return records
+
+
+def load_baseline() -> dict[str, dict]:
+    data = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    return {entry["benchmark"]: entry for entry in data["benchmarks"]}
+
+
+def write_baseline(results: dict[str, dict]) -> None:
+    entries = [
+        {
+            "benchmark": name,
+            "app": record.get("app"),
+            "backend": record.get("backend"),
+            "baseline_backend": record.get("baseline_backend"),
+            "speedup": round(float(record["speedup"]), 2),
+            "required_speedup": float(record.get("required_speedup", 1.0)),
+        }
+        for name, record in sorted(results.items())
+        if "speedup" in record
+    ]
+    BASELINE_PATH.write_text(
+        json.dumps({"benchmarks": entries}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {BASELINE_PATH} with {len(entries)} entries")
+
+
+def check(tolerance: float) -> int:
+    baseline = load_baseline()
+    results = load_results()
+    failures = []
+    for name, expected in sorted(baseline.items()):
+        record = results.get(name)
+        if record is None:
+            failures.append(f"{name}: no result recorded (did the benchmark run?)")
+            continue
+        speedup = float(record.get("speedup", 0.0))
+        floor = max(
+            float(expected.get("required_speedup", 1.0)),
+            float(expected["speedup"]) * (1.0 - tolerance),
+        )
+        status = "ok" if speedup >= floor else "REGRESSION"
+        print(
+            f"{name}: {record.get('backend')} vs {record.get('baseline_backend')} "
+            f"= {speedup:.2f}x (floor {floor:.2f}x, baseline "
+            f"{expected['speedup']:.2f}x) {status}"
+        )
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below floor {floor:.2f}x"
+            )
+    if failures:
+        print("\nbenchmark regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbenchmark regression check passed ({len(baseline)} benchmarks)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fraction of baseline-speedup erosion (default 0.5)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh baseline.json from the current results instead of gating",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    if args.write_baseline:
+        write_baseline(load_results())
+        return 0
+    return check(args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

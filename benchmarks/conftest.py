@@ -37,3 +37,23 @@ def archive(results_dir):
 
     return _archive
 
+
+@pytest.fixture()
+def archive_json(results_dir):
+    """Archive a machine-readable result record under ``results/<name>.json``.
+
+    These records feed ``benchmarks/check_regression.py``: CI compares the
+    ``speedup`` field of each record against the committed baseline
+    (``benchmarks/baseline.json``) so a silent perf regression fails the
+    build.
+    """
+    import json
+
+    def _archive_json(name: str, record: dict) -> None:
+        path = results_dir / f"{name}.json"
+        path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    return _archive_json
+

@@ -12,7 +12,6 @@ Run with:  python examples/thermal_simulation.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.api import PerforationEngine
 from repro.core import ROWS1_NN, ROWS2_NN, compute_error

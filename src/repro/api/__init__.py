@@ -33,6 +33,8 @@ from __future__ import annotations
 from .registry import Registry, RegistryError
 
 __all__ = [
+    "ArtifactCache",
+    "ArtifactStats",
     "CacheStats",
     "CalibrationEntry",
     "ExecutionRecord",
@@ -41,6 +43,7 @@ __all__ = [
     "RegistryError",
     "ResultCache",
     "Session",
+    "default_artifact_cache",
 ]
 
 _LAZY = {
@@ -50,6 +53,9 @@ _LAZY = {
     "ExecutionRecord": ("repro.api.session", "ExecutionRecord"),
     "ResultCache": ("repro.api.cache", "ResultCache"),
     "CacheStats": ("repro.api.cache", "CacheStats"),
+    "ArtifactCache": ("repro.api.artifacts", "ArtifactCache"),
+    "ArtifactStats": ("repro.api.artifacts", "ArtifactStats"),
+    "default_artifact_cache": ("repro.api.artifacts", "default_cache"),
 }
 
 

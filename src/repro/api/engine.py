@@ -84,7 +84,7 @@ class PerforationEngine:
     backend:
         Execution backend used by the *compiled* kernel path
         (:meth:`run_compiled` / :meth:`compiled_sweep`): a registered name
-        (``"interpreter"``, ``"vectorized"``), an
+        (``"interpreter"``, ``"vectorized"``, ``"codegen"``), an
         :class:`~repro.clsim.backends.ExecutionBackend` instance, or
         ``None`` for the default interpreter backend.  Sessions can
         override it per session.

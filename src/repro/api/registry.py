@@ -22,7 +22,7 @@ called on lookup or singletons that are returned as-is.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Generic, Iterator, TypeVar
+from typing import Generic, Iterator, TypeVar
 
 T = TypeVar("T")
 

@@ -38,7 +38,6 @@ from ..core.quality import ErrorMetric
 from ..core.reconstruction import make_sampler
 from ..core.schemes import (
     KIND_COLUMNS,
-    KIND_NONE,
     KIND_RANDOM,
     KIND_ROWS,
     KIND_STENCIL,

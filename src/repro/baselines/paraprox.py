@@ -34,7 +34,7 @@ from ..clsim.timing import (
     per_item_traffic,
     tile_traffic,
 )
-from ..core.config import ApproximationConfig, DEFAULT_WORK_GROUP
+from ..core.config import DEFAULT_WORK_GROUP
 from ..core.errors import ConfigurationError
 from ..core.pipeline import baseline_config_for
 from ..core.quality import compute_error

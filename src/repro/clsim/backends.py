@@ -12,7 +12,12 @@ work group to an :class:`ExecutionBackend`:
   bit-identical outputs and identical
   :class:`~repro.clsim.executor.ExecutionStats` counters, which the
   cross-backend conformance suite (``tests/clsim/test_backend_parity.py``)
-  pins down.
+  pins down;
+* the ``"codegen"`` backend (:mod:`repro.kernellang.codegen`) lowers each
+  (kernel source, work-group shape, batched?) triple once to flat
+  specialized Python/NumPy source, compiled via ``compile()``/``exec()``
+  and cached process-wide and on disk (:mod:`repro.api.artifacts`) — the
+  same conformance contract, ~2-3x faster again on repeated launches.
 
 Backends are resolvable by name through a string-keyed registry, mirroring
 the application/device/scheme registries of the session API:
@@ -202,6 +207,92 @@ class VectorizedBackend(ExecutionBackend):
             ) from exc
 
 
+class CodegenBackend(ExecutionBackend):
+    """Compiled backend: kernellang ASTs lowered to specialized NumPy source.
+
+    Each (kernel source, work-group shape, batched?) triple is lowered
+    *once* to flat Python source (:mod:`repro.kernellang.codegen`), compiled
+    with ``compile()``/``exec()``, memoized process-wide and persisted in
+    the on-disk artifact cache (:mod:`repro.api.artifacts`) — repeated
+    sweeps and serve sessions skip lowering entirely.  Outputs and
+    :class:`~repro.clsim.executor.ExecutionStats` counters are bit-identical
+    to the interpreter backend (same conformance contract as the vectorized
+    backend, pinned by ``tests/clsim/test_backend_parity.py``).
+
+    Programs the lowering cannot specialize fall back to the vectorized
+    backend transparently (the lowering fails *before* any lane has run),
+    so ``codegen`` is a strict drop-in for ``vectorized``.  Kernels built
+    from hand-written Python bodies carry no AST and are rejected, exactly
+    like the vectorized backend.
+    """
+
+    name = "codegen"
+    supports_batching = True
+
+    def _compiled(self, kernel):
+        # Imported lazily: kernellang itself imports repro.clsim.
+        from ..kernellang.codegen import codegen_kernel
+
+        if getattr(kernel, "ast_program", None) is None:
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} carries no kernellang AST; the "
+                f"codegen backend only runs kernels compiled from "
+                f"kernellang source (use the 'interpreter' backend)"
+            )
+        return codegen_kernel(kernel)
+
+    def _fallback(self):
+        # Built lazily and kept: the vectorized backend object is stateless.
+        backend = getattr(self, "_vectorized", None)
+        if backend is None:
+            backend = self._vectorized = VectorizedBackend()
+        return backend
+
+    def run_group(self, kernel, ctx, ndrange, group_id) -> int:
+        from ..kernellang.codegen import LoweringError
+        from ..kernellang.errors import KernelLangError
+
+        compiled = self._compiled(kernel)
+        try:
+            return compiled.run_group(ctx, ndrange, group_id)
+        except LoweringError:
+            return self._fallback().run_group(kernel, ctx, ndrange, group_id)
+        except KernelExecutionError:  # includes BarrierDivergenceError
+            raise
+        except KernelLangError as exc:
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} failed for group {group_id}: {exc}"
+            ) from exc
+        except Exception as exc:  # pragma: no cover - defensive
+            # Keep the executor's error contract even if generated code
+            # faults in an unforeseen way (mirrors InterpreterBackend).
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} failed for group {group_id}: {exc}"
+            ) from exc
+
+    def run_group_batch(self, kernel, ctx, ndrange, group_id, batch) -> int:
+        from ..kernellang.codegen import LoweringError
+        from ..kernellang.errors import KernelLangError
+
+        compiled = self._compiled(kernel)
+        try:
+            return compiled.run_group_batch(ctx, ndrange, group_id, batch)
+        except LoweringError:
+            return self._fallback().run_group_batch(
+                kernel, ctx, ndrange, group_id, batch
+            )
+        except KernelExecutionError:
+            raise
+        except KernelLangError as exc:
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} failed for batched group {group_id}: {exc}"
+            ) from exc
+        except Exception as exc:  # pragma: no cover - defensive
+            raise KernelExecutionError(
+                f"kernel {kernel.name!r} failed for batched group {group_id}: {exc}"
+            ) from exc
+
+
 #: Registry of execution-backend factories; new backends can be added with
 #: :func:`register_backend` and are then resolvable by every executor and
 #: engine: ``Executor(backend="my-backend")``.
@@ -209,6 +300,7 @@ EXECUTION_BACKENDS: Registry = Registry("execution backend", error=InvalidBacken
 
 EXECUTION_BACKENDS.register("interpreter", InterpreterBackend)
 EXECUTION_BACKENDS.register("vectorized", VectorizedBackend)
+EXECUTION_BACKENDS.register("codegen", CodegenBackend)
 
 
 def register_backend(name: str, factory=None, *, overwrite: bool = False):

@@ -17,7 +17,7 @@ as the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..api.registry import Registry
 from .errors import InvalidDeviceError

@@ -9,7 +9,10 @@ per-group execution to a pluggable :class:`~repro.clsim.backends.ExecutionBacken
   reference execution model;
 * the ``"vectorized"`` backend executes a whole work group as batched
   NumPy operations lowered from the kernellang AST — bit-identical outputs
-  and access counters, orders of magnitude faster.
+  and access counters, orders of magnitude faster;
+* the ``"codegen"`` backend lowers each (kernel, work-group shape) pair
+  once to specialized Python/NumPy source, compiled and cached on disk —
+  the fastest path for repeated launches, same conformance contract.
 
 Either way the executor owns the launch bookkeeping: device validation,
 local-memory lifecycle, and the aggregation of the
@@ -72,8 +75,8 @@ class Executor:
         FirePro W5100).
     backend:
         Execution backend: a registered name (``"interpreter"``,
-        ``"vectorized"``), an :class:`ExecutionBackend` instance, or
-        ``None`` for the default interpreter backend.
+        ``"vectorized"``, ``"codegen"``), an :class:`ExecutionBackend`
+        instance, or ``None`` for the default interpreter backend.
     """
 
     def __init__(

@@ -78,10 +78,11 @@ class NDRange:
                 f"global_size and local_size must have the same rank "
                 f"({len(gsz)} vs {len(lsz)})"
             )
-        for dim, (g, l) in enumerate(zip(gsz, lsz)):
-            if g % l != 0:
+        for dim, (g, local) in enumerate(zip(gsz, lsz)):
+            if g % local != 0:
                 raise InvalidWorkGroupSizeError(
-                    f"local size {l} does not divide global size {g} in dimension {dim}"
+                    f"local size {local} does not divide global size {g} "
+                    f"in dimension {dim}"
                 )
         object.__setattr__(self, "global_size", gsz)
         object.__setattr__(self, "local_size", lsz)
@@ -104,14 +105,14 @@ class NDRange:
     def work_group_size(self) -> int:
         """Number of work-items per work group."""
         total = 1
-        for l in self.local_size:
-            total *= l
+        for local in self.local_size:
+            total *= local
         return total
 
     @property
     def num_groups(self) -> tuple[int, ...]:
         """Number of work groups along each dimension."""
-        return tuple(g // l for g, l in zip(self.global_size, self.local_size))
+        return tuple(g // local for g, local in zip(self.global_size, self.local_size))
 
     @property
     def total_groups(self) -> int:
@@ -169,7 +170,7 @@ class NDRange:
                 raise InvalidNDRangeError(
                     f"group id {gid} out of range {counts} in dimension {dim}"
                 )
-        local_ranges = [range(l) for l in self.local_size]
+        local_ranges = [range(extent) for extent in self.local_size]
         if self.rank == 1:
             for lx in local_ranges[0]:
                 yield WorkItemId(

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable
 
 from .device import Device
 from .errors import LocalMemoryExceededError

@@ -8,7 +8,7 @@ size.  The canonical configurations of the evaluation (``Rows1:NN``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .errors import ConfigurationError
 from .reconstruction import (

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from ..clsim.kernel import Kernel
 from ..kernellang import ast
 from ..kernellang.analysis import AccessPatternInfo, analyze_kernel, reuse_info
-from ..kernellang.codegen import generate
+from ..kernellang.clgen import generate
 from ..kernellang.interpreter import KernelInterpreter
 from ..kernellang.parser import parse_program
 from ..kernellang.transforms import (
@@ -30,7 +30,7 @@ from ..kernellang.typecheck import check_program
 from .config import ApproximationConfig
 from .errors import ConfigurationError
 from .reconstruction import LINEAR_INTERPOLATION, NEAREST_NEIGHBOR
-from .schemes import KIND_NONE, KIND_ROWS, KIND_STENCIL
+from .schemes import KIND_ROWS, KIND_STENCIL
 
 _TECHNIQUE_MAP = {
     NEAREST_NEIGHBOR: T_NEAREST,

@@ -21,7 +21,7 @@ the expected interface (``reference``, ``approximate``, ``profile``,
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

@@ -24,7 +24,6 @@ Each scheme can describe itself in two equivalent ways:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 
 import numpy as np

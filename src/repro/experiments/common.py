@@ -13,7 +13,7 @@ runs the full-size versions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..api.engine import PerforationEngine

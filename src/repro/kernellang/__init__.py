@@ -10,7 +10,8 @@ perforation and reconstruction.
 
 from . import ast
 from .builtins import builtin_names, get_builtin, is_builtin
-from .codegen import CodeGenerator, generate
+from .clgen import CodeGenerator, generate
+from .codegen import CodegenKernel, LoweringError, codegen_kernel, lower_kernel
 from .errors import (
     AnalysisError,
     InterpreterError,
@@ -45,6 +46,10 @@ __all__ = [
     "ArrayType",
     "CheckResult",
     "CodeGenerator",
+    "CodegenKernel",
+    "LoweringError",
+    "codegen_kernel",
+    "lower_kernel",
     "FLOAT",
     "INT",
     "InterpreterError",

@@ -6,7 +6,7 @@ Nodes are plain dataclasses.  Two traversal helpers are provided:
 * :class:`NodeTransformer` — rebuild-the-tree traversal (compiler passes).
 
 The tree deliberately stays close to the concrete syntax so that
-:mod:`repro.kernellang.codegen` can emit readable OpenCL C from transformed
+:mod:`repro.kernellang.clgen` can emit readable OpenCL C from transformed
 kernels (the artefact a user would take to a real GPU).
 """
 
@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field, fields
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterator, Optional
 
 from .types import Type
 

@@ -1,228 +1,2383 @@
-"""OpenCL C code generation from the AST.
+"""Codegen execution backend: kernellang AST -> specialized NumPy Python source.
 
-The code generator turns (possibly transformed) kernel ASTs back into
-OpenCL C source.  This is how the perforation framework produces an
-artefact a user could compile with a real OpenCL runtime: the perforated +
-reconstructed kernels emitted by :mod:`repro.kernellang.transforms` are
-valid OpenCL C for the subset we support.
+The vectorized backend (:mod:`repro.kernellang.vectorize`) removed the
+per-work-item interpretation cost, but it still *walks the AST* for every
+work group: each statement pays isinstance dispatch, environment-dict
+lookups and recursive ``eval`` calls.  This module removes that remaining
+interpretive overhead the way array-DSL compilers do: it lowers each
+(kernel source, work-group shape, batched?) triple **once** into flat
+Python source built from batched NumPy operations, compiles it with
+``compile()``/``exec()`` and runs the resulting function per work group.
+
+The lowering is a partial evaluation of the vectorized backend:
+
+* a **uniformity analysis** classifies every variable as *uniform* (same
+  value in every lane: literals, scalar kernel arguments, ``get_group_id``
+  / size queries, and anything computed only from those) or *varying*
+  (per-lane).  Uniform values become plain Python scalars — their
+  arithmetic follows the scalar interpreter exactly — and uniform-trip-count
+  loops become plain Python loops with no mask machinery at all;
+* varying values are ``(lanes,)`` ``int64``/``float64`` arrays exactly as
+  in the vectorized backend; divergent ``if``/``for``/``while``/``do-while``
+  (including ``break``/``continue``/``return``) are emitted as the same
+  per-lane mask algebra :class:`~repro.kernellang.vectorize.VectorizedKernel`
+  performs dynamically, so outputs, error behaviour and
+  :class:`~repro.clsim.executor.ExecutionStats` counters stay bit-identical;
+* global buffers / local tiles / private arrays become masked gather /
+  scatter container objects with fast unmasked paths for statically
+  full-mask code, recording exactly one access per active lane;
+* helper functions are inlined at the call site (straight-line helpers
+  keep uniformity; anything with control flow is inlined in masked form);
+* the work-group shape is baked in (``get_local_size`` folds to a
+  constant), and a separate variant is lowered for batched launches whose
+  containers route every lane into its own request segment.
+
+Lowered sources are cached three deep: per :class:`~repro.clsim.kernel.Kernel`
+object, process-wide by content key (``_FN_MEMO``), and on disk through
+:mod:`repro.api.artifacts` so repeated sweeps and serve sessions skip
+lowering entirely.
+
+Kernels the lowering cannot specialize (for example a non-literal dimension
+argument to ``get_global_id``) raise :class:`LoweringError`; the ``codegen``
+execution backend catches it and falls back to the vectorized backend, so
+the backend never changes observable behaviour.
 """
 
 from __future__ import annotations
 
+import hashlib
+
+import numpy as np
+
+from ..clsim.errors import BarrierDivergenceError
+from ..clsim.kernel import Kernel, KernelContext
+from ..clsim.memory import Buffer, SegmentedBuffer
 from . import ast
-from .errors import KernelLangError
-from .types import ArrayType, PointerType, ScalarType, Type
+from .builtins import (
+    BUILTIN_CONSTANTS,
+    CONTEXT_BUILTINS,
+    SYNC_BUILTINS,
+    get_builtin,
+    is_builtin,
+)
+from .clgen import generate as clgen_generate
+from .errors import InterpreterError, KernelLangError
+from .interpreter import KernelInterpreter, _ConstantArray
+from .types import PointerType, ScalarType
+from .vectorize import _VECTOR_BUILTINS, _scalar_map
 
-_INDENT = "    "
+_INT = np.int64
+_FLOAT = np.float64
+
+#: Bump when the lowering or the runtime contract changes: invalidates every
+#: on-disk artifact (stale entries simply miss).
+CODEGEN_FORMAT_VERSION = 2
 
 
-def _format_float(value: float) -> str:
-    """Format a float literal with an explicit ``f`` suffix (OpenCL style)."""
-    if value == int(value) and abs(value) < 1e16:
-        return f"{value:.1f}f"
-    return f"{value!r}f"
+class LoweringError(KernelLangError):
+    """The codegen backend cannot specialize this program.
+
+    Raised at lowering time, never mid-execution: the caller can always
+    fall back to the vectorized backend before any lane has run.
+    """
 
 
-def _address_space_prefix(space: str) -> str:
-    if space == "private":
-        return ""
-    return f"__{space} "
+# ---------------------------------------------------------------------------
+# Runtime containers referenced by the generated source
+# ---------------------------------------------------------------------------
+def _oob(what: str, index: int, length: int) -> None:
+    raise InterpreterError(f"{what}: index {index} out of bounds [0, {length})")
 
 
-class CodeGenerator:
-    """Pretty-prints AST nodes as OpenCL C."""
+def _check_full(what: str, idx: np.ndarray, length: int) -> None:
+    if int(idx.min()) < 0 or int(idx.max()) >= length:
+        bad = idx[(idx < 0) | (idx >= length)]
+        _oob(what, int(bad[0]), length)
 
-    def __init__(self, indent: str = _INDENT) -> None:
-        self.indent = indent
 
-    # ------------------------------------------------------------------
-    # Types
-    # ------------------------------------------------------------------
-    def format_type(self, t: Type) -> str:
-        if isinstance(t, ScalarType):
-            return t.name
-        if isinstance(t, PointerType):
-            const = "const " if t.is_const else ""
-            return f"{_address_space_prefix(t.address_space)}{const}{self.format_type(t.pointee)}*"
-        if isinstance(t, ArrayType):
-            return f"{_address_space_prefix(t.address_space)}{self.format_type(t.element)}"
-        raise KernelLangError(f"cannot format type {t!r}")
+def _check_masked(what: str, idx: np.ndarray, mask: np.ndarray, length: int) -> None:
+    bad = mask & ((idx < 0) | (idx >= length))
+    if np.any(bad):
+        _oob(what, int(idx[bad][0]), length)
 
-    # ------------------------------------------------------------------
-    # Expressions
-    # ------------------------------------------------------------------
-    def expr(self, node: ast.Expr) -> str:
-        if isinstance(node, ast.IntLiteral):
-            return str(node.value)
-        if isinstance(node, ast.FloatLiteral):
-            return _format_float(node.value)
-        if isinstance(node, ast.BoolLiteral):
-            return "true" if node.value else "false"
-        if isinstance(node, ast.Identifier):
-            return node.name
-        if isinstance(node, ast.UnaryOp):
-            operand = self._maybe_paren(node.operand)
-            if node.postfix:
-                return f"{operand}{node.op}"
-            return f"{node.op}{operand}"
-        if isinstance(node, ast.BinaryOp):
-            left = self._maybe_paren(node.left)
-            right = self._maybe_paren(node.right)
-            return f"{left} {node.op} {right}"
-        if isinstance(node, ast.Assignment):
-            return f"{self.expr(node.target)} {node.op} {self.expr(node.value)}"
-        if isinstance(node, ast.Ternary):
-            return (
-                f"({self._maybe_paren(node.condition)} ? "
-                f"{self.expr(node.if_true)} : {self.expr(node.if_false)})"
-            )
-        if isinstance(node, ast.Call):
-            args = ", ".join(self.expr(a) for a in node.args)
-            return f"{node.name}({args})"
-        if isinstance(node, ast.Index):
-            return f"{self._maybe_paren(node.base)}[{self.expr(node.index)}]"
-        if isinstance(node, ast.Cast):
-            return f"({self.format_type(node.target_type)})({self.expr(node.expr)})"
-        if isinstance(node, ast.InitList):
-            return "{" + ", ".join(self.expr(v) for v in node.values) + "}"
-        raise KernelLangError(f"cannot generate code for {type(node).__name__}")
 
-    def _maybe_paren(self, node: ast.Expr) -> str:
-        text = self.expr(node)
-        if isinstance(
-            node,
-            (ast.BinaryOp, ast.Assignment, ast.Ternary),
-        ):
-            return f"({text})"
-        return text
+def _last(value):
+    """Scalar written by a full-mask store to one shared address (last lane wins)."""
+    return float(value[-1]) if np.ndim(value) else value
 
-    # ------------------------------------------------------------------
-    # Statements
-    # ------------------------------------------------------------------
-    def stmt(self, node: ast.Stmt, level: int = 0) -> list[str]:
-        pad = self.indent * level
-        if isinstance(node, ast.DeclStmt):
-            return [pad + self._decl_stmt(node)]
-        if isinstance(node, ast.ExprStmt):
-            return [pad + self.expr(node.expr) + ";"]
-        if isinstance(node, ast.Block):
-            lines = [pad + "{"]
-            for child in node.statements:
-                lines.extend(self.stmt(child, level + 1))
-            lines.append(pad + "}")
-            return lines
-        if isinstance(node, ast.IfStmt):
-            lines = [pad + f"if ({self.expr(node.condition)}) {{"]
-            for child in node.then_body.statements:
-                lines.extend(self.stmt(child, level + 1))
-            if node.else_body is not None:
-                lines.append(pad + "} else {")
-                for child in node.else_body.statements:
-                    lines.extend(self.stmt(child, level + 1))
-            lines.append(pad + "}")
-            return lines
-        if isinstance(node, ast.ForStmt):
-            init = ""
-            if node.init is not None:
-                if isinstance(node.init, ast.DeclStmt):
-                    init = self._decl_stmt(node.init).rstrip(";")
-                elif isinstance(node.init, ast.ExprStmt):
-                    init = self.expr(node.init.expr)
-            cond = self.expr(node.condition) if node.condition is not None else ""
-            step = self.expr(node.step) if node.step is not None else ""
-            lines = [pad + f"for ({init}; {cond}; {step}) {{"]
-            for child in node.body.statements:
-                lines.extend(self.stmt(child, level + 1))
-            lines.append(pad + "}")
-            return lines
-        if isinstance(node, ast.WhileStmt):
-            lines = [pad + f"while ({self.expr(node.condition)}) {{"]
-            for child in node.body.statements:
-                lines.extend(self.stmt(child, level + 1))
-            lines.append(pad + "}")
-            return lines
-        if isinstance(node, ast.DoWhileStmt):
-            lines = [pad + "do {"]
-            for child in node.body.statements:
-                lines.extend(self.stmt(child, level + 1))
-            lines.append(pad + f"}} while ({self.expr(node.condition)});")
-            return lines
-        if isinstance(node, ast.ReturnStmt):
-            if node.value is None:
-                return [pad + "return;"]
-            return [pad + f"return {self.expr(node.value)};"]
-        if isinstance(node, ast.BreakStmt):
-            return [pad + "break;"]
-        if isinstance(node, ast.ContinueStmt):
-            return [pad + "continue;"]
-        raise KernelLangError(f"cannot generate code for {type(node).__name__}")
 
-    def _decl_stmt(self, node: ast.DeclStmt) -> str:
-        parts = []
-        for decl in node.declarations:
-            parts.append(self._declarator(decl))
-        # Declarations with different base types cannot be merged; the parser
-        # only produces homogeneous DeclStmts, so joining is safe.
-        if len(parts) == 1:
-            return parts[0] + ";"
-        return "; ".join(parts) + ";"
+def _bval(value, mask):
+    """Masked-store RHS: gather the active lanes (scalars broadcast as-is)."""
+    return np.asarray(value, dtype=_FLOAT)[mask] if np.ndim(value) else value
 
-    def _declarator(self, decl: ast.VarDecl) -> str:
-        prefix = _address_space_prefix(decl.address_space)
-        const = "const " if decl.is_const else ""
-        if isinstance(decl.var_type, PointerType):
-            type_text = self.format_type(decl.var_type)
-            text = f"{const}{type_text} {decl.name}"
+
+class _CGlobal:
+    """Flat view of a global :class:`Buffer` with full/masked/uniform paths."""
+
+    __slots__ = ("buffer", "flat", "n", "what")
+
+    def __init__(self, buffer: Buffer) -> None:
+        self.buffer = buffer
+        self.flat = buffer.array.reshape(-1)
+        self.n = self.flat.size
+        self.what = f"global buffer {buffer.name!r}"
+
+    def loadf(self, idx: np.ndarray) -> np.ndarray:
+        _check_full(self.what, idx, self.n)
+        self.buffer.record_reads(idx.shape[0])
+        return self.flat[idx].astype(_FLOAT)
+
+    def loadm(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        _check_masked(self.what, idx, mask, self.n)
+        self.buffer.record_reads(int(mask.sum()))
+        return self.flat[np.where(mask, idx, 0)].astype(_FLOAT)
+
+    def loadu(self, idx: int, lanes: int) -> float:
+        if not 0 <= idx < self.n:
+            _oob(self.what, idx, self.n)
+        self.buffer.record_reads(lanes)
+        return float(self.flat[idx])
+
+    def loadum(self, idx: int, mask: np.ndarray) -> float:
+        count = int(mask.sum())
+        if count:
+            if not 0 <= idx < self.n:
+                _oob(self.what, idx, self.n)
+            self.buffer.record_reads(count)
+            return float(self.flat[idx])
+        return 0.0
+
+    def storef(self, idx: np.ndarray, value) -> None:
+        _check_full(self.what, idx, self.n)
+        self.buffer.record_writes(idx.shape[0])
+        self.flat[idx] = np.asarray(value, dtype=_FLOAT)
+
+    def storem(self, idx: np.ndarray, value, mask: np.ndarray) -> None:
+        _check_masked(self.what, idx, mask, self.n)
+        self.buffer.record_writes(int(mask.sum()))
+        self.flat[idx[mask]] = _bval(value, mask)
+
+    def storeu(self, idx: int, value, lanes: int) -> None:
+        if not 0 <= idx < self.n:
+            _oob(self.what, idx, self.n)
+        self.buffer.record_writes(lanes)
+        self.flat[idx] = _last(value)
+
+    def storeum(self, idx: int, value, mask: np.ndarray) -> None:
+        count = int(mask.sum())
+        if count:
+            if not 0 <= idx < self.n:
+                _oob(self.what, idx, self.n)
+            self.buffer.record_writes(count)
+            value = float(np.asarray(value, dtype=_FLOAT)[mask][-1]) if np.ndim(value) else value
+            self.flat[idx] = value
+
+
+class _CSegGlobal:
+    """Batched variant: every lane addresses its own request's segment.
+
+    The uniform-index entry points return per-lane *arrays* (the same
+    logical index reads a different segment per request), which is why the
+    batched lowering classifies every global access as varying.
+    """
+
+    __slots__ = ("buffer", "flat", "n", "base", "what")
+
+    def __init__(self, buffer: SegmentedBuffer, base: np.ndarray) -> None:
+        self.buffer = buffer
+        self.flat = buffer.array.reshape(-1)
+        self.n = buffer.segment_elements
+        self.base = base
+        self.what = f"global buffer {buffer.name!r}"
+
+    def loadf(self, idx) -> np.ndarray:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_full(self.what, idx, self.n)
+        self.buffer.record_reads(idx.shape[0])
+        return self.flat[idx + self.base].astype(_FLOAT)
+
+    def loadm(self, idx, mask: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_masked(self.what, idx, mask, self.n)
+        self.buffer.record_reads(int(mask.sum()))
+        return self.flat[np.where(mask, idx + self.base, 0)].astype(_FLOAT)
+
+    def storef(self, idx, value) -> None:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_full(self.what, idx, self.n)
+        self.buffer.record_writes(idx.shape[0])
+        self.flat[idx + self.base] = np.asarray(value, dtype=_FLOAT)
+
+    def storem(self, idx, value, mask: np.ndarray) -> None:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_masked(self.what, idx, mask, self.n)
+        self.buffer.record_writes(int(mask.sum()))
+        self.flat[(idx + self.base)[mask]] = _bval(value, mask)
+
+
+class _CLocal:
+    """A named tile in the work group's local memory."""
+
+    __slots__ = ("mem", "tile", "n", "what")
+
+    def __init__(self, mem, name: str, length: int) -> None:
+        self.mem = mem
+        self.tile = mem.allocate(name, (length,), dtype=_FLOAT)
+        self.n = length
+        self.what = f"local array {name!r}"
+
+    def loadf(self, idx: np.ndarray) -> np.ndarray:
+        _check_full(self.what, idx, self.n)
+        self.mem.record_reads(idx.shape[0])
+        return self.tile[idx].astype(_FLOAT)
+
+    def loadm(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        _check_masked(self.what, idx, mask, self.n)
+        self.mem.record_reads(int(mask.sum()))
+        return self.tile[np.where(mask, idx, 0)].astype(_FLOAT)
+
+    def loadu(self, idx: int, lanes: int) -> float:
+        if not 0 <= idx < self.n:
+            _oob(self.what, idx, self.n)
+        self.mem.record_reads(lanes)
+        return float(self.tile[idx])
+
+    def loadum(self, idx: int, mask: np.ndarray) -> float:
+        count = int(mask.sum())
+        if count:
+            if not 0 <= idx < self.n:
+                _oob(self.what, idx, self.n)
+            self.mem.record_reads(count)
+            return float(self.tile[idx])
+        return 0.0
+
+    def storef(self, idx: np.ndarray, value) -> None:
+        _check_full(self.what, idx, self.n)
+        self.mem.record_writes(idx.shape[0])
+        self.tile[idx] = np.asarray(value, dtype=_FLOAT)
+
+    def storem(self, idx: np.ndarray, value, mask: np.ndarray) -> None:
+        _check_masked(self.what, idx, mask, self.n)
+        self.mem.record_writes(int(mask.sum()))
+        self.tile[idx[mask]] = _bval(value, mask)
+
+    def storeu(self, idx: int, value, lanes: int) -> None:
+        if not 0 <= idx < self.n:
+            _oob(self.what, idx, self.n)
+        self.mem.record_writes(lanes)
+        self.tile[idx] = _last(value)
+
+    def storeum(self, idx: int, value, mask: np.ndarray) -> None:
+        count = int(mask.sum())
+        if count:
+            if not 0 <= idx < self.n:
+                _oob(self.what, idx, self.n)
+            self.mem.record_writes(count)
+            value = float(np.asarray(value, dtype=_FLOAT)[mask][-1]) if np.ndim(value) else value
+            self.tile[idx] = value
+
+
+class _CSegLocal:
+    """Batched variant of :class:`_CLocal`: one tile per request, stacked."""
+
+    __slots__ = ("mem", "tile", "n", "base", "what")
+
+    def __init__(self, mem, name: str, length: int, base: np.ndarray, batch: int) -> None:
+        self.mem = mem
+        self.tile = mem.allocate(name, (batch * length,), dtype=_FLOAT)
+        self.n = length
+        self.base = base
+        self.what = f"local array {name!r}"
+
+    def loadf(self, idx) -> np.ndarray:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_full(self.what, idx, self.n)
+        self.mem.record_reads(idx.shape[0])
+        return self.tile[idx + self.base].astype(_FLOAT)
+
+    def loadm(self, idx, mask: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_masked(self.what, idx, mask, self.n)
+        self.mem.record_reads(int(mask.sum()))
+        return self.tile[np.where(mask, idx + self.base, 0)].astype(_FLOAT)
+
+    def storef(self, idx, value) -> None:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_full(self.what, idx, self.n)
+        self.mem.record_writes(idx.shape[0])
+        self.tile[idx + self.base] = np.asarray(value, dtype=_FLOAT)
+
+    def storem(self, idx, value, mask: np.ndarray) -> None:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
+        _check_masked(self.what, idx, mask, self.n)
+        self.mem.record_writes(int(mask.sum()))
+        self.tile[(idx + self.base)[mask]] = _bval(value, mask)
+
+
+class _CPrivate:
+    """A fixed-size per-lane private array (``lanes x length``)."""
+
+    __slots__ = ("values", "n", "lane_idx", "what")
+
+    def __init__(self, name: str, length: int, lanes: int) -> None:
+        self.values = np.zeros((lanes, length), dtype=_FLOAT)
+        self.n = length
+        self.lane_idx = np.arange(lanes)
+        self.what = f"private array {name!r}"
+
+    def loadf(self, idx) -> np.ndarray:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            if not 0 <= int(idx) < self.n:
+                _oob(self.what, int(idx), self.n)
+            return self.values[:, int(idx)].copy()
+        _check_full(self.what, idx, self.n)
+        return self.values[self.lane_idx, idx]
+
+    def loadm(self, idx, mask: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.values.shape[0], int(idx), dtype=_INT)
+        _check_masked(self.what, idx, mask, self.n)
+        return self.values[self.lane_idx, np.where(mask, idx, 0)]
+
+    def storef(self, idx, value) -> None:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            if not 0 <= int(idx) < self.n:
+                _oob(self.what, int(idx), self.n)
+            self.values[:, int(idx)] = np.asarray(value, dtype=_FLOAT)
+            return
+        _check_full(self.what, idx, self.n)
+        self.values[self.lane_idx, idx] = np.asarray(value, dtype=_FLOAT)
+
+    def storem(self, idx, value, mask: np.ndarray) -> None:
+        idx = np.asarray(idx)
+        if idx.ndim == 0:
+            idx = np.full(self.values.shape[0], int(idx), dtype=_INT)
+        _check_masked(self.what, idx, mask, self.n)
+        self.values[self.lane_idx[mask], idx[mask]] = _bval(value, mask)
+
+
+class _CConstant:
+    """A file-scope ``__constant`` array (read-only, shared by all lanes)."""
+
+    __slots__ = ("values", "n", "what")
+
+    def __init__(self, name: str, values: np.ndarray) -> None:
+        self.values = values
+        self.n = values.size
+        self.what = f"constant array {name!r}"
+
+    def loadf(self, idx: np.ndarray) -> np.ndarray:
+        _check_full(self.what, idx, self.n)
+        return self.values[idx].astype(_FLOAT)
+
+    def loadm(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        _check_masked(self.what, idx, mask, self.n)
+        return self.values[np.where(mask, idx, 0)].astype(_FLOAT)
+
+    def loadu(self, idx: int, lanes: int) -> float:
+        if not 0 <= idx < self.n:
+            _oob(self.what, idx, self.n)
+        return float(self.values[idx])
+
+    def loadum(self, idx: int, mask: np.ndarray) -> float:
+        if mask.any():
+            if not 0 <= idx < self.n:
+                _oob(self.what, idx, self.n)
+            return float(self.values[idx])
+        return 0.0
+
+    def _readonly(self, *args) -> None:
+        raise InterpreterError(f"{self.what} is read-only")
+
+    storef = storem = storeu = storeum = _readonly
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers referenced by the generated source
+# ---------------------------------------------------------------------------
+def _udiv(left, right):
+    """Uniform ``/`` with the scalar interpreter's exact semantics."""
+    if isinstance(left, int) and isinstance(right, int):
+        if right == 0:
+            raise InterpreterError("integer division by zero")
+        quotient = left // right
+        if left % right != 0 and (left < 0) != (right < 0):
+            quotient += 1
+        return quotient
+    if right == 0:
+        raise InterpreterError("division by zero")
+    return left / right
+
+
+def _umod(left, right):
+    """Uniform ``%`` with the scalar interpreter's exact semantics."""
+    import math
+
+    if right == 0:
+        raise InterpreterError("modulo by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        return int(math.fmod(left, right))
+    return math.fmod(left, right)
+
+
+def _vdiv(left, right, mask):
+    """Varying ``/`` mirroring the vectorized backend bit for bit."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    int_int = left.dtype.kind in "iu" and right.dtype.kind in "iu"
+    if np.any(mask & (right == 0)):
+        if int_int:
+            raise InterpreterError("integer division by zero")
+        raise InterpreterError("division by zero")
+    if right.dtype.kind in "iu":
+        safe = np.where(right == 0, 1, right)
+    else:
+        safe = np.where(right == 0, 1.0, right)
+    if int_int:
+        quotient = np.floor_divide(left, safe)
+        remainder = left - quotient * safe
+        return quotient + ((remainder != 0) & ((left < 0) ^ (safe < 0)))
+    return left / safe
+
+
+def _vmod(left, right, mask):
+    """Varying ``%`` mirroring the vectorized backend bit for bit."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if np.any(mask & (right == 0)):
+        raise InterpreterError("modulo by zero")
+    safe = np.where(right == 0, 1, right)
+    return np.fmod(left, safe)
+
+
+def _vtrunc(value):
+    """Varying store into an int-typed slot: truncate unless already int."""
+    value = np.asarray(value)
+    return value if value.dtype.kind in "iu" else value.astype(_INT)
+
+
+def _uassign(existing, value):
+    """Uniform assignment with the interpreter's dynamic int-truncation rule."""
+    if isinstance(existing, int) and isinstance(value, float):
+        return int(value)
+    return value
+
+
+def _afull(existing, value):
+    """Full-mask varying assignment with the dynamic int-truncation rule."""
+    value = np.asarray(value)
+    if existing.dtype.kind in "iu" and value.dtype.kind not in "iu":
+        return value.astype(_INT)
+    return value
+
+
+def _amask(existing, value, mask):
+    """Masked varying assignment, mirroring ``vectorize._store_scalar``."""
+    value = np.asarray(value)
+    if existing.dtype.kind in "iu" and value.dtype.kind not in "iu":
+        value = value.astype(_INT)
+    dtype = np.result_type(existing.dtype, value.dtype)
+    if existing.dtype.kind in "iu":
+        dtype = existing.dtype
+    merged = existing.astype(dtype)
+    merged[mask] = value.astype(dtype)[mask]
+    return merged
+
+
+def _decl_scalar(existing, value, mask):
+    """Scalar re-declaration under a divergent mask (vectorize semantics)."""
+    value = np.asarray(value)
+    if isinstance(existing, np.ndarray) and not mask.all():
+        return _amask(existing, value, mask)
+    return value
+
+
+def _merge_parts(lanes: int, parts):
+    """Merge the evaluated arms of a varying ternary (vectorize semantics)."""
+    dtype = np.result_type(*(np.asarray(v).dtype for _, v in parts))
+    result = np.zeros(lanes, dtype=dtype)
+    for mask, value in parts:
+        result[mask] = np.asarray(value, dtype=dtype)[mask]
+    return result
+
+
+class _FnFlow:
+    """Return-lane bookkeeping of one masked-inlined helper call."""
+
+    __slots__ = ("lanes", "returned", "value")
+
+    def __init__(self, lanes: int) -> None:
+        self.lanes = lanes
+        self.returned = np.zeros(lanes, dtype=bool)
+        self.value = None
+
+    def record(self, mask: np.ndarray, value) -> None:
+        self.returned = self.returned | mask
+        if value is None:
+            return
+        value = np.asarray(value)
+        if self.value is None:
+            self.value = np.zeros(self.lanes, dtype=_INT)
+        merged = self.value.astype(np.result_type(self.value.dtype, value.dtype))
+        merged[mask] = value.astype(merged.dtype)[mask]
+        self.value = merged
+
+    def result(self):
+        if self.value is None:
+            return np.zeros(self.lanes, dtype=_INT)
+        return self.value
+
+
+def _ucall(name: str, impl, *args):
+    """Uniform built-in call with the interpreter's error wrapping."""
+    try:
+        return impl(*args)
+    except Exception as exc:
+        raise InterpreterError(f"built-in {name!r} failed: {exc}") from exc
+
+
+class _VectorFallback:
+    """Per-active-lane scalar fallback for built-ins without a vector kernel."""
+
+    __slots__ = ("name", "apply")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.apply = _scalar_map(get_builtin(name).impl)
+
+    def __call__(self, mask, *args):
+        try:
+            return self.apply(mask, *args)
+        except Exception as exc:
+            raise InterpreterError(f"built-in {self.name!r} failed: {exc}") from exc
+
+
+def _exec_namespace() -> dict:
+    """Globals dict the compiled artifact sources are executed in.
+
+    The artifact source contains no imports: every runtime name resolves
+    through this namespace.  (Real builtins are required — NumPy's truth
+    tests reach for them — so artifact *integrity* rests on the content
+    key and the header check, not on namespace isolation.)
+    """
+    import builtins
+
+    return {
+        "__builtins__": builtins,
+        "_np": np,
+        "_I": _INT,
+        "_F": _FLOAT,
+        "_CPrivate": _CPrivate,
+        "_ONCE": (0,),
+        "_VB": _VECTOR_BUILTINS,
+        "_VF": _VectorFallback,
+        "_BI_IMPL": _BI_IMPL,
+        "_ucall": _ucall,
+        "_udiv": _udiv,
+        "_umod": _umod,
+        "_vdiv": _vdiv,
+        "_vmod": _vmod,
+        "_vtrunc": _vtrunc,
+        "_uassign": _uassign,
+        "_afull": _afull,
+        "_amask": _amask,
+        "_decl_scalar": _decl_scalar,
+        "_merge_parts": _merge_parts,
+        "_FnFlow": _FnFlow,
+        "_IErr": InterpreterError,
+        "_BDE": BarrierDivergenceError,
+        "int": int,
+        "float": float,
+        "isinstance": isinstance,
+        "min": min,
+        "max": max,
+        "abs": abs,
+        "round": round,
+    }
+
+
+def _BI_IMPL(name: str):
+    """Resolve a built-in's scalar implementation (uniform call path)."""
+    return get_builtin(name).impl
+
+
+# ---------------------------------------------------------------------------
+# Per-group runtime state handed to the generated function
+# ---------------------------------------------------------------------------
+_LID_CACHE: dict = {}
+_MASK_CACHE: dict = {}
+
+
+def _lid_arrays(local_size: tuple[int, ...], batch: int):
+    """Per-dimension local-id index arrays (cached, read-only by contract)."""
+    key = (local_size, batch)
+    cached = _LID_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rank = len(local_size)
+    group = 1
+    for extent in local_size:
+        group *= extent
+    lids = []
+    for dim in range(rank):
+        inner = 1
+        for lower in range(dim):
+            inner *= local_size[lower]
+        lid = np.tile(np.repeat(np.arange(local_size[dim], dtype=_INT), inner), group // (inner * local_size[dim]))
+        lids.append(np.tile(lid, batch) if batch > 1 else lid)
+    lane_request = np.repeat(np.arange(batch, dtype=_INT), group)
+    result = (group, tuple(lids), lane_request)
+    _LID_CACHE[key] = result
+    return result
+
+
+def _masks(lanes: int):
+    cached = _MASK_CACHE.get(lanes)
+    if cached is None:
+        cached = _MASK_CACHE[lanes] = (
+            np.ones(lanes, dtype=bool),
+            np.zeros(lanes, dtype=bool),
+        )
+    return cached
+
+
+class _Runtime:
+    """Everything a generated group function reads: ids, sizes, containers."""
+
+    __slots__ = (
+        "L", "M0", "Z", "gid", "lid", "grp", "gsz", "lsz", "ngrp",
+        "c", "s", "local",
+    )
+
+
+def _build_runtime(
+    constants_containers: dict,
+    params,
+    ctx: KernelContext,
+    ndrange,
+    group_id: tuple[int, ...],
+    batch: int | None,
+) -> _Runtime:
+    rt = _Runtime()
+    effective_batch = batch or 1
+    group, lids, lane_request = _lid_arrays(ndrange.local_size, effective_batch)
+    rt.L = group * effective_batch
+    rt.M0, rt.Z = _masks(rt.L)
+    rt.lid = lids
+    rt.gid = tuple(
+        lids[dim] + group_id[dim] * ndrange.local_size[dim]
+        for dim in range(ndrange.rank)
+    )
+    rt.grp = tuple(int(g) for g in group_id)
+    rt.gsz = ndrange.global_size
+    rt.lsz = ndrange.local_size
+    rt.ngrp = ndrange.num_groups
+    rt.c = dict(constants_containers)
+    rt.s = {}
+    for param in params:
+        value = ctx.arg(param.name)
+        if isinstance(param.param_type, PointerType):
+            if not isinstance(value, Buffer):
+                raise InterpreterError(
+                    f"pointer argument {param.name!r} must be bound to a Buffer"
+                )
+            if batch is None:
+                rt.c[param.name] = _CGlobal(value)
+            else:
+                if not isinstance(value, SegmentedBuffer) or value.batch != batch:
+                    raise InterpreterError(
+                        f"batched launch requires every pointer argument to be a "
+                        f"SegmentedBuffer with {batch} segments, got {value!r}"
+                    )
+                rt.c[param.name] = _CSegGlobal(
+                    value, lane_request * value.segment_elements
+                )
         else:
-            type_text = self.format_type(decl.var_type)
-            text = f"{prefix}{const}{type_text} {decl.name}"
-        if decl.array_size is not None:
-            text += f"[{self.expr(decl.array_size)}]"
-        if decl.init is not None:
-            text += f" = {self.expr(decl.init)}"
-        return text
+            rt.s[param.name] = value
+    if batch is None:
+        rt.local = lambda name, length: _CLocal(ctx.local, name, length)
+    else:
+        rt.local = lambda name, length: _CSegLocal(
+            ctx.local, name, length, lane_request * length, batch
+        )
+    return rt
 
-    # ------------------------------------------------------------------
-    # Top level
-    # ------------------------------------------------------------------
-    def param(self, node: ast.Param) -> str:
-        if isinstance(node.param_type, PointerType):
-            return f"{self.format_type(node.param_type)} {node.name}"
-        if isinstance(node.param_type, ArrayType):
-            return (
-                f"{self.format_type(node.param_type)} {node.name}"
-                f"[{node.param_type.length}]"
+
+# ---------------------------------------------------------------------------
+# Lowering: AST -> specialized Python source
+# ---------------------------------------------------------------------------
+#: Result dtype class of each built-in under the interpreter's scalar
+#: semantics: 'p' promotes from the argument dtypes (min/max return an
+#: operand), 'f' always yields float, 'i' always yields int.
+_BUILTIN_DT = {
+    "min": "p", "max": "p", "fmin": "p", "fmax": "p", "clamp": "p",
+    "abs": "p", "fabs": "p", "mad": "p", "fma": "p", "mix": "p", "select": "p",
+    "sign": "f", "sqrt": "f", "rsqrt": "f", "exp": "f", "log": "f",
+    "pow": "f", "sin": "f", "cos": "f", "tan": "f", "native_divide": "f",
+    "hypot": "f",
+    "floor": "i", "ceil": "i", "round": "i",
+}
+
+_CONTEXT_DIMS = {
+    "get_global_id": "gid", "get_local_id": "lid", "get_group_id": "grp",
+    "get_global_size": "gsz", "get_local_size": "lsz", "get_num_groups": "ngrp",
+}
+
+
+class _V:
+    """A lowered expression: code string + static kind ('u'/'v') + dtype."""
+
+    __slots__ = ("code", "kind", "dt")
+
+    def __init__(self, code: str, kind: str, dt: str) -> None:
+        self.code = code
+        self.kind = kind
+        self.dt = dt
+
+
+class _Container:
+    """Marker value for identifiers naming a buffer/tile/array."""
+
+    __slots__ = ("py", "space")
+
+    def __init__(self, py: str, space: str) -> None:
+        self.py = py
+        self.space = space
+
+
+class _Scope:
+    """Per-function-body symbol table used by classification and emission."""
+
+    __slots__ = ("kind", "dt", "space", "py", "divdecl")
+
+    def __init__(self) -> None:
+        self.kind: dict[str, str] = {}
+        self.dt: dict[str, str] = {}
+        self.space: dict[str, str] = {}
+        self.py: dict[str, str] = {}
+        self.divdecl: set[str] = set()
+
+
+def _join_kind(*kinds: str) -> str:
+    return "v" if "v" in kinds else "u"
+
+
+def _promote_dt(*dts: str) -> str:
+    if "x" in dts:
+        return "x"
+    return "f" if "f" in dts else "i"
+
+
+class _Lowering:
+    """Compiles one kernel of a program into Python source."""
+
+    #: Inline depth bound: kernellang has no recursion, this guards cycles.
+    MAX_INLINE_DEPTH = 16
+
+    def __init__(
+        self,
+        program: ast.Program,
+        kernel_name: str | None,
+        local_size: tuple[int, ...],
+        batched: bool,
+    ) -> None:
+        self.program = program
+        self.kernel_def = program.kernel(kernel_name)
+        self.functions = {f.name: f for f in program.functions}
+        self.constants = KernelInterpreter(program, self.kernel_def.name).constants
+        self.local_size = tuple(int(v) for v in local_size)
+        self.batched = batched
+
+        self.lines: list[str] = []
+        self.depth = 0
+        self.counter = 0
+        self.binds: dict[str, str] = {}  # module-level built-in bindings
+        self.used_ids: set[str] = set()  # prologue ids: g0, l1, G0, S0, N0
+        self.has_masked_return = False
+
+        # Emission context.
+        self.mask = "M0"
+        self.div = False
+        self.in_function = False
+        self.fnflow: str | None = None
+        self.retref: str | None = None
+        self.loops: list[dict] = []
+        self._inline_stack: list[str] = []
+        self._fn_memo: dict = {}
+
+    # -- small utilities ------------------------------------------------
+    def _tmp(self, prefix: str = "_t") -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def _push(self) -> None:
+        self.depth += 1
+
+    def _pop(self) -> None:
+        self.depth -= 1
+
+    def _bind(self, name: str, code: str) -> str:
+        """Module-level binding in the artifact (built-in lookups etc.)."""
+        if name not in self.binds:
+            self.binds[name] = code
+        return name
+
+    def _unsupported(self, what: str) -> "LoweringError":
+        return LoweringError(f"codegen cannot specialize {what}")
+
+    # -- classification: expression kinds -------------------------------
+    def _c_assign(self, scope: _Scope, name: str, kind: str, dt: str, div: bool,
+                  decl: bool = False) -> None:
+        if kind == "v" or div or scope.kind.get(name) == "v":
+            scope.kind[name] = "v"
+        else:
+            scope.kind.setdefault(name, "u")
+        old = scope.dt.get(name)
+        if old is None:
+            new = dt
+        elif not decl and old == "i":
+            new = "i"  # dynamic int-truncation keeps the slot integer
+        elif old == dt:
+            new = old
+        else:
+            new = "x"
+        scope.dt[name] = new
+
+    def _c_expr(self, expr, scope: _Scope, div: bool) -> tuple[str, str]:
+        """Kind/dtype of ``expr``; records assignment side effects."""
+        if isinstance(expr, ast.IntLiteral) or isinstance(expr, ast.BoolLiteral):
+            return ("u", "i")
+        if isinstance(expr, ast.FloatLiteral):
+            return ("u", "f")
+        if isinstance(expr, ast.Identifier):
+            name = expr.name
+            if name in scope.space:
+                return ("c", scope.space[name])
+            if name in scope.kind:
+                return (scope.kind[name], scope.dt.get(name, "x"))
+            if name in BUILTIN_CONSTANTS:
+                return ("u", "i" if isinstance(BUILTIN_CONSTANTS[name], int) else "f")
+            if getattr(scope, "optimistic", False):
+                # Loop-shape queries may run before a nested declaration has
+                # been classified; assume uniform — the fixpoint re-checks
+                # once the variable's real kind is known (kinds only go up).
+                return ("u", "x")
+            raise self._unsupported(f"undefined identifier {name!r}")
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op in ("++", "--"):
+                k, dt = self._c_expr(expr.operand, scope, div)
+                if isinstance(expr.operand, ast.Identifier):
+                    self._c_assign(scope, expr.operand.name, k, dt, div)
+                return (("v" if div else k), dt)
+            k, dt = self._c_expr(expr.operand, scope, div)
+            if expr.op == "!":
+                return (k, "i")
+            if expr.op == "~":
+                return (k, "i")
+            return (k, dt)
+        if isinstance(expr, ast.BinaryOp):
+            lk, ldt = self._c_expr(expr.left, scope, div)
+            sub_div = div or lk == "v"
+            rk, rdt = self._c_expr(expr.right, scope, sub_div if expr.op in ("&&", "||") else div)
+            k = _join_kind(lk, rk)
+            if expr.op in ("<", ">", "<=", ">=", "==", "!=", "&&", "||",
+                           "&", "|", "^", "<<", ">>"):
+                return (k, "i")
+            if expr.op == "/":
+                if ldt == "i" and rdt == "i":
+                    return (k, "i")
+                if "x" in (ldt, rdt):
+                    return (k, "x")
+                return (k, "f")
+            if expr.op == "%":
+                return (k, "i" if (ldt == "i" and rdt == "i") else
+                        ("x" if "x" in (ldt, rdt) else "f"))
+            return (k, _promote_dt(ldt, rdt))
+        if isinstance(expr, ast.Assignment):
+            vk, vdt = self._c_expr(expr.value, scope, div)
+            if expr.op != "=":
+                tk, tdt = self._c_expr(expr.target, scope, div)
+                vk, vdt = _join_kind(tk, vk), self._c_binop_dt(expr.op[:-1], tdt, vdt)
+            if isinstance(expr.target, ast.Identifier):
+                self._c_assign(scope, expr.target.name, vk, vdt, div)
+            elif isinstance(expr.target, ast.Index):
+                self._c_expr(expr.target.base, scope, div)
+                self._c_expr(expr.target.index, scope, div)
+            return (vk, vdt)
+        if isinstance(expr, ast.Ternary):
+            ck, _ = self._c_expr(expr.condition, scope, div)
+            sub_div = div or ck == "v"
+            ak, adt = self._c_expr(expr.if_true, scope, sub_div)
+            bk, bdt = self._c_expr(expr.if_false, scope, sub_div)
+            return (_join_kind(ck, ak, bk), _promote_dt(adt, bdt))
+        if isinstance(expr, ast.Call):
+            return self._c_call(expr, scope, div)
+        if isinstance(expr, ast.Index):
+            bk = self._c_expr(expr.base, scope, div)
+            ik, _ = self._c_expr(expr.index, scope, div)
+            if bk[0] != "c":
+                raise self._unsupported(f"indexing a non-array value")
+            space = bk[1]
+            if space == "private":
+                return ("v", "f")
+            if space in ("global", "local") and self.batched:
+                return ("v", "f")
+            return (ik, "f")
+        if isinstance(expr, ast.Cast):
+            k, _ = self._c_expr(expr.expr, scope, div)
+            if isinstance(expr.target_type, ScalarType):
+                return (k, "i" if expr.target_type.is_integer else "f")
+            return (k, "x")
+        if isinstance(expr, ast.InitList):
+            raise self._unsupported("an initializer list outside a declaration")
+        raise self._unsupported(f"expression {type(expr).__name__}")
+
+    def _c_binop_dt(self, op: str, ldt: str, rdt: str) -> str:
+        if op in ("<", ">", "<=", ">=", "==", "!=", "&&", "||", "&", "|", "^",
+                  "<<", ">>"):
+            return "i"
+        if op == "/":
+            if ldt == "i" and rdt == "i":
+                return "i"
+            return "x" if "x" in (ldt, rdt) else "f"
+        if op == "%":
+            return "i" if (ldt == "i" and rdt == "i") else (
+                "x" if "x" in (ldt, rdt) else "f")
+        return _promote_dt(ldt, rdt)
+
+    def _c_call(self, call: ast.Call, scope: _Scope, div: bool) -> tuple[str, str]:
+        name = call.name
+        if name in CONTEXT_BUILTINS:
+            self._context_dim(call)  # validates the dim argument
+            if name in ("get_global_id", "get_local_id"):
+                return ("v", "i")
+            return ("u", "i")
+        if name in SYNC_BUILTINS:
+            raise self._unsupported("barrier()/mem_fence() inside an expression")
+        if is_builtin(name):
+            kinds, dts = [], []
+            for arg in call.args:
+                k, dt = self._c_expr(arg, scope, div)
+                if k == "c":
+                    raise self._unsupported(f"array argument to built-in {name!r}")
+                kinds.append(k)
+                dts.append(dt)
+            cls = _BUILTIN_DT.get(name, "x")
+            dt = {"p": _promote_dt(*dts) if dts else "i", "f": "f", "i": "i",
+                  "x": "x"}[cls]
+            return (_join_kind(*kinds) if kinds else "u", dt)
+        if name in self.functions:
+            func = self.functions[name]
+            arg_sigs = tuple(self._c_expr(arg, scope, div) for arg in call.args)
+            kind, dt, _simple = self._fn_summary(func, arg_sigs, div)
+            return (kind, dt)
+        raise self._unsupported(f"call to unknown function {name!r}")
+
+    def _context_dim(self, call: ast.Call) -> int:
+        if not call.args:
+            return 0
+        arg = call.args[0]
+        if not isinstance(arg, ast.IntLiteral):
+            raise self._unsupported(
+                f"a non-literal dimension argument to {call.name}()"
             )
-        return f"{self.format_type(node.param_type)} {node.name}"
+        dim = arg.value
+        if not 0 <= dim < len(self.local_size):
+            raise self._unsupported(
+                f"{call.name}({dim}) outside the launch rank"
+            )
+        return dim
 
-    def function(self, node: ast.FunctionDef) -> str:
-        qualifier = "__kernel " if node.is_kernel else ""
-        params = ", ".join(self.param(p) for p in node.params)
-        header = f"{qualifier}{self.format_type(node.return_type)} {node.name}({params}) {{"
-        lines = [header]
-        for stmt in node.body.statements:
-            lines.extend(self.stmt(stmt, 1))
-        lines.append("}")
-        return "\n".join(lines)
+    # -- classification: statements --------------------------------------
+    def _fn_simple(self, func: ast.FunctionDef) -> bool:
+        """Straight-line body ending in a single return: inlines uniformly."""
+        stmts = func.body.statements
+        if not stmts or not isinstance(stmts[-1], ast.ReturnStmt):
+            return False
+        if stmts[-1].value is None:
+            return False
+        for stmt in stmts[:-1]:
+            if not isinstance(stmt, (ast.DeclStmt, ast.ExprStmt)):
+                return False
+            if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.Call) \
+                    and stmt.expr.name in SYNC_BUILTINS:
+                return False
+        return self._count_returns(func.body) == 1
 
-    def program(self, node: ast.Program) -> str:
-        chunks = []
-        for decl in node.globals:
-            chunks.append(self._decl_stmt(decl))
-        for func in node.functions:
-            chunks.append(self.function(func))
-        return "\n\n".join(chunks) + "\n"
+    def _count_returns(self, block) -> int:
+        count = 0
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt):
+                count += 1
+            elif isinstance(stmt, (ast.Block,)):
+                count += self._count_returns(stmt)
+            elif isinstance(stmt, ast.IfStmt):
+                count += self._count_returns(stmt.then_body)
+                if stmt.else_body is not None:
+                    count += self._count_returns(stmt.else_body)
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                count += self._count_returns(stmt.body)
+        return count
+
+    def _callee_scope(self, func: ast.FunctionDef, arg_sigs) -> _Scope:
+        scope = _Scope()
+        self._seed_constants(scope)
+        if len(arg_sigs) != len(func.params):
+            raise self._unsupported(
+                f"call to {func.name!r} with {len(arg_sigs)} arguments "
+                f"(expects {len(func.params)})"
+            )
+        for index, (param, sig) in enumerate(zip(func.params, arg_sigs)):
+            if sig[0] == "c":
+                scope.space[param.name] = sig[1]
+                scope.py[param.name] = ""  # bound at emission time
+            else:
+                scope.kind[param.name] = sig[0]
+                scope.dt[param.name] = sig[1]
+                scope.py[param.name] = ""
+        return scope
+
+    def _fn_summary(self, func: ast.FunctionDef, arg_sigs, div: bool):
+        """(kind, dt, simple) of a helper call with the given argument kinds."""
+        key = (func.name, arg_sigs, div, self.batched)
+        cached = self._fn_memo.get(key)
+        if cached is not None:
+            return cached
+        if func.name in self._inline_stack:
+            raise self._unsupported(f"recursive helper function {func.name!r}")
+        if len(self._inline_stack) >= self.MAX_INLINE_DEPTH:
+            raise self._unsupported("helper inlining deeper than 16 levels")
+        self._inline_stack.append(func.name)
+        try:
+            simple = self._fn_simple(func)
+            scope = self._callee_scope(func, arg_sigs)
+            body_div = div or not simple
+            self._classify(func.body, scope, body_div, in_function=True)
+            if simple:
+                kind, dt = self._c_expr(
+                    func.body.statements[-1].value, scope, body_div
+                )
+                result = (kind, dt, True)
+            else:
+                dts = self._return_dts(func.body, scope, body_div)
+                dt = _promote_dt("i", *dts) if dts else "i"
+                result = ("v", dt, False)
+        finally:
+            self._inline_stack.pop()
+        self._fn_memo[key] = result
+        return result
+
+    def _return_dts(self, block, scope, div) -> list[str]:
+        dts: list[str] = []
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+                dts.append(self._c_expr(stmt.value, scope, div)[1])
+            elif isinstance(stmt, ast.Block):
+                dts.extend(self._return_dts(stmt, scope, div))
+            elif isinstance(stmt, ast.IfStmt):
+                dts.extend(self._return_dts(stmt.then_body, scope, div))
+                if stmt.else_body is not None:
+                    dts.extend(self._return_dts(stmt.else_body, scope, div))
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                dts.extend(self._return_dts(stmt.body, scope, div))
+        return dts
+
+    def _classify(self, block, scope: _Scope, div: bool, in_function: bool) -> None:
+        """Run the statement walk to a fixpoint (kinds only ever go up)."""
+        for _ in range(50):
+            before = (dict(scope.kind), dict(scope.dt))
+            self._c_block(block, scope, div, in_function)
+            if (scope.kind, scope.dt) == before:
+                return
+        raise self._unsupported("a program whose classification does not converge")
+
+    def _c_block(self, block, scope, div, in_function) -> bool:
+        """Classify a block; returns the divergence state *after* the block.
+
+        Mirrors the emitter exactly: a statement whose subtree kills lanes
+        (return / break / continue escaping through a mask merge) leaves
+        the remainder of the block divergent, so later declarations are
+        classified — and pre-initialized — the way they will be emitted.
+        """
+        for stmt in block.statements:
+            div = self._c_stmt(stmt, scope, div, in_function)
+        return div
+
+    def _c_stmt(self, stmt, scope, div, in_function) -> bool:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarations:
+                self._c_decl(decl, scope, div)
+            return div
+        if isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call) and stmt.expr.name in SYNC_BUILTINS:
+                return div
+            self._c_expr(stmt.expr, scope, div)
+            return div
+        if isinstance(stmt, ast.Block):
+            return self._c_block(stmt, scope, div, in_function)
+        if isinstance(stmt, ast.IfStmt):
+            ck, _ = self._c_expr(stmt.condition, scope, div)
+            branch_div = div or ck == "v"
+            self._c_block(stmt.then_body, scope, branch_div, in_function)
+            if stmt.else_body is not None:
+                self._c_block(stmt.else_body, scope, branch_div, in_function)
+            kills = self._contains_kills(stmt.then_body) or (
+                stmt.else_body is not None
+                and self._contains_kills(stmt.else_body)
+            )
+            return div or bool(kills)
+        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+            if isinstance(stmt, ast.ForStmt) and stmt.init is not None:
+                self._c_stmt(stmt.init, scope, div, in_function)
+            masked = self._loop_masked(stmt, scope, div)
+            body_div = div or masked
+            if stmt.condition is not None:
+                self._c_expr(stmt.condition, scope, body_div)
+            self._c_block(stmt.body, scope, body_div, in_function)
+            if isinstance(stmt, ast.ForStmt) and stmt.step is not None:
+                self._c_expr(stmt.step, scope, body_div)
+            return div or self._count_returns(stmt.body) > 0
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._c_expr(stmt.value, scope, div)
+            if div and not in_function:
+                self.has_masked_return = True
+            return div
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            return div
+        raise self._unsupported(f"statement {type(stmt).__name__}")
+
+    def _c_decl(self, decl: ast.VarDecl, scope: _Scope, div: bool) -> None:
+        if decl.array_size is not None:
+            sk, _ = self._c_expr(decl.array_size, scope, div)
+            if sk == "v":
+                raise self._unsupported(
+                    f"array {decl.name!r} with a varying size"
+                )
+            scope.space[decl.name] = (
+                "local" if decl.address_space == "local" else "private"
+            )
+            scope.py.setdefault(decl.name, "")
+            if isinstance(decl.init, ast.InitList):
+                for value in decl.init.values:
+                    self._c_expr(value, scope, div)
+            return
+        if decl.init is not None:
+            vk, vdt = self._c_expr(decl.init, scope, div)
+        else:
+            vk, vdt = "u", "i"
+        if isinstance(decl.var_type, ScalarType) and decl.var_type.is_integer:
+            vdt = "i"
+        self._c_assign(scope, decl.name, vk, vdt, div, decl=True)
+        if div:
+            scope.divdecl.add(decl.name)
+
+    # -- loop shape decisions ---------------------------------------------
+    def _loop_masked(self, node, scope: _Scope, outer_div: bool) -> bool:
+        if outer_div:
+            return True
+        if node.condition is not None:
+            ck, _ = self._c_expr(node.condition, _ScopeView(scope), False)
+            if ck == "v":
+                return True
+        if isinstance(node, ast.ForStmt) and node.init is not None:
+            init = node.init
+            if isinstance(init, ast.DeclStmt):
+                for decl in init.declarations:
+                    if decl.init is not None and scope.kind.get(decl.name) == "v":
+                        return True
+            elif isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assignment):
+                target = init.expr.target
+                if isinstance(target, ast.Identifier) and scope.kind.get(target.name) == "v":
+                    return True
+        return self._body_has_masked_kills(node.body, scope, False)
+
+    def _body_has_masked_kills(self, block, scope, rel_div, in_inner=False) -> bool:
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt):
+                if rel_div:
+                    return True
+            elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+                if rel_div and not in_inner:
+                    return True
+            elif isinstance(stmt, ast.Block):
+                if self._body_has_masked_kills(stmt, scope, rel_div, in_inner):
+                    return True
+            elif isinstance(stmt, ast.IfStmt):
+                ck, _ = self._c_expr(stmt.condition, _ScopeView(scope), False)
+                branch = rel_div or ck == "v"
+                if self._body_has_masked_kills(stmt.then_body, scope, branch, in_inner):
+                    return True
+                if stmt.else_body is not None and self._body_has_masked_kills(
+                    stmt.else_body, scope, branch, in_inner
+                ):
+                    return True
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                inner_masked = self._loop_masked(stmt, scope, rel_div)
+                if self._body_has_masked_kills(
+                    stmt.body, scope, rel_div or inner_masked, True
+                ):
+                    return True
+        return False
+
+    def _contains_kills(self, block, in_inner_loop=False) -> bool:
+        """Any return, or break/continue escaping to an enclosing loop."""
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt):
+                return True
+            if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+                if not in_inner_loop:
+                    return True
+            elif isinstance(stmt, ast.Block):
+                if self._contains_kills(stmt, in_inner_loop):
+                    return True
+            elif isinstance(stmt, ast.IfStmt):
+                if self._contains_kills(stmt.then_body, in_inner_loop):
+                    return True
+                if stmt.else_body is not None and self._contains_kills(
+                    stmt.else_body, in_inner_loop
+                ):
+                    return True
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                if self._contains_kills(stmt.body, True):
+                    return True
+        return False
+
+    def _stmt_kills(self, stmt) -> bool:
+        if isinstance(stmt, (ast.ReturnStmt, ast.BreakStmt, ast.ContinueStmt)):
+            return True
+        if isinstance(stmt, ast.Block):
+            return self._contains_kills(stmt)
+        if isinstance(stmt, ast.IfStmt):
+            if self._contains_kills(stmt.then_body):
+                return True
+            return stmt.else_body is not None and self._contains_kills(stmt.else_body)
+        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+            return self._contains_kills(stmt.body, True)
+        return False
 
 
-def generate(node: ast.Node) -> str:
-    """Generate OpenCL C source for a program, function, statement or expression."""
-    gen = CodeGenerator()
-    if isinstance(node, ast.Program):
-        return gen.program(node)
-    if isinstance(node, ast.FunctionDef):
-        return gen.function(node)
-    if isinstance(node, ast.Stmt):
-        return "\n".join(gen.stmt(node))
-    if isinstance(node, ast.Expr):
-        return gen.expr(node)
-    raise KernelLangError(f"cannot generate code for {type(node).__name__}")
+class _ScopeView:
+    """Read-only view of a scope for kind queries during loop decisions."""
+
+    __slots__ = ("kind", "dt", "space", "py", "divdecl", "optimistic")
+
+    def __init__(self, scope: _Scope) -> None:
+        self.kind = dict(scope.kind)
+        self.dt = dict(scope.dt)
+        self.space = scope.space
+        self.py = scope.py
+        self.divdecl = set()
+        self.optimistic = True
+
+
+class _Emitter(_Lowering):
+    """Emission half of the lowering (classification lives in the base)."""
+
+    # -- capture/splice for lazily evaluated sub-expressions -------------
+    def _capture_expr(self, fn):
+        saved_lines, saved_depth = self.lines, self.depth
+        self.lines, self.depth = [], 0
+        try:
+            result = fn()
+        finally:
+            captured, self.lines, self.depth = self.lines, saved_lines, saved_depth
+        return captured, result
+
+    def _splice(self, captured: list[str]) -> None:
+        pad = "    " * self.depth
+        for line in captured:
+            self.lines.append(pad + line)
+
+    # -- value plumbing ---------------------------------------------------
+    def _promote(self, v: _V) -> str:
+        """Code for ``v`` as a (lanes,) array."""
+        return f"_np.full(L, {v.code})" if v.kind == "u" else v.code
+
+    def _idx_code(self, v: _V) -> str:
+        """Index operand: int scalar (uniform) or int64 array (varying)."""
+        if v.kind == "u":
+            return v.code if v.dt == "i" else f"int({v.code})"
+        if v.dt == "i":
+            return v.code
+        return f"_np.asarray({v.code}).astype(_I)"
+
+    def _int_code(self, v: _V) -> str:
+        if v.kind == "u":
+            return v.code if v.dt == "i" else f"int({v.code})"
+        return v.code if v.dt == "i" else f"({v.code}).astype(_I)"
+
+    # -- entry point ------------------------------------------------------
+    def lower(self) -> str:
+        scope = _Scope()
+        self._seed_constants(scope)
+        for param in self.kernel_def.params:
+            if isinstance(param.param_type, PointerType):
+                scope.space[param.name] = "global"
+                scope.py[param.name] = f"c_{param.name}"
+            else:
+                scope.kind[param.name] = "u"
+                scope.dt[param.name] = (
+                    "i"
+                    if isinstance(param.param_type, ScalarType)
+                    and param.param_type.is_integer
+                    else "f"
+                )
+                scope.py[param.name] = f"v_{param.name}"
+        self._classify(self.kernel_def.body, scope, False, False)
+
+        self.depth = 1
+        self._emit_block(self.kernel_def.body.statements, scope)
+        self._line("return _b")
+        body = self.lines
+
+        out: list[str] = [
+            f"# repro-codegen artifact (format v{CODEGEN_FORMAT_VERSION})",
+            f"# kernel: {self.kernel_def.name}  local_size={self.local_size}"
+            f"  batched={self.batched}",
+        ]
+        for name in sorted(self.binds):
+            out.append(f"{name} = {self.binds[name]}")
+        out.append("")
+        out.append("def kernel_group(rt):")
+        prologue = ["L = rt.L", "M0 = rt.M0", "_Z = rt.Z", "_b = 0"]
+        dims = {"gid": "g", "lid": "l", "grp": "G", "gsz": "S", "ngrp": "N"}
+        for field, short in dims.items():
+            for dim in range(len(self.local_size)):
+                ident = f"{short}{dim}"
+                if ident in self.used_ids:
+                    prologue.append(f"{ident} = rt.{field}[{dim}]")
+        for param in self.kernel_def.params:
+            name = param.name
+            if isinstance(param.param_type, PointerType):
+                prologue.append(f"c_{name} = rt.c[{name!r}]")
+            elif scope.kind.get(name) == "v":
+                prologue.append(f"v_{name} = _np.full(L, rt.s[{name!r}])")
+            else:
+                prologue.append(f"v_{name} = rt.s[{name!r}]")
+        for name, value in self.constants.items():
+            if isinstance(value, _ConstantArray):
+                prologue.append(f"kc_{name} = rt.c[{name!r}]")
+            else:
+                prologue.append(f"k_{name} = {value!r}")
+        if self.has_masked_return:
+            prologue.append("_ret = _Z")
+        prebound = {p.name for p in self.kernel_def.params} | set(self.constants)
+        for name in sorted(scope.divdecl - prebound):
+            py = scope.py.get(name)
+            if py:
+                prologue.append(f"{py} = None")
+        for line in prologue:
+            out.append("    " + line)
+        out.extend(body)
+        out.append("")
+        return "\n".join(out)
+
+    def _seed_constants(self, scope: _Scope) -> None:
+        for name, value in self.constants.items():
+            if isinstance(value, _ConstantArray):
+                scope.space[name] = "constant"
+                scope.py[name] = f"kc_{name}"
+            else:
+                scope.kind[name] = "u"
+                scope.dt[name] = "i" if isinstance(value, int) else "f"
+                scope.py[name] = f"k_{name}"
+
+    # -- statements -------------------------------------------------------
+    def _suite(self, emit_fn) -> None:
+        """Emit an indented suite, inserting ``pass`` if it came out empty."""
+        self._push()
+        mark = len(self.lines)
+        emit_fn()
+        if len(self.lines) == mark:
+            self._line("pass")
+        self._pop()
+
+    def _emit_block(self, stmts, scope: _Scope) -> None:
+        for index, stmt in enumerate(stmts):
+            self._emit_stmt(stmt, scope)
+            rest = stmts[index + 1:]
+            if rest and self.div and self._stmt_kills(stmt):
+                entry = self.mask
+                self._line(f"if {entry}.any():")
+
+                def emit_rest():
+                    self._emit_block(rest, scope)
+                    if self.mask != entry:
+                        self._line(f"{entry} = {self.mask}")
+
+                self._suite(emit_rest)
+                self.mask = entry
+                return
+
+    def _emit_stmt(self, stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarations:
+                self._emit_decl(decl, scope)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call) and stmt.expr.name in SYNC_BUILTINS:
+                if stmt.expr.name == "barrier":
+                    self._emit_barrier()
+                return
+            value = self._emit_expr(stmt.expr, scope)
+            if not value.code.isidentifier():
+                self._line(value.code)
+            return
+        if isinstance(stmt, ast.Block):
+            self._emit_block(stmt.statements, scope)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            self._emit_if(stmt, scope)
+            return
+        if isinstance(stmt, ast.ForStmt):
+            self._emit_loop(stmt, scope, init=stmt.init, step=stmt.step)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            self._emit_loop(stmt, scope)
+            return
+        if isinstance(stmt, ast.DoWhileStmt):
+            self._emit_loop(stmt, scope, check_first=False)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            self._emit_return(stmt, scope)
+            return
+        if isinstance(stmt, ast.BreakStmt):
+            self._emit_break()
+            return
+        if isinstance(stmt, ast.ContinueStmt):
+            self._emit_continue()
+            return
+        raise self._unsupported(f"statement {type(stmt).__name__}")
+
+    def _emit_barrier(self) -> None:
+        if self.in_function:
+            self._line('raise _IErr("helper functions may not contain barriers")')
+            return
+        if self.div or self.has_masked_return:
+            check = f"not {self.mask}.all()"
+            if self.has_masked_return:
+                check = f"_ret.any() or {check}"
+            self._line(f"if {check}:")
+            self._push()
+            self._line(
+                'raise _BDE("work-items of the group reached different '
+                'numbers of barriers")'
+            )
+            self._pop()
+        self._line("_b += 1")
+
+    def _emit_decl(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        name = decl.name
+        if decl.array_size is not None:
+            size = self._emit_expr(decl.array_size, scope)
+            if size.kind == "v":
+                raise self._unsupported(f"array {name!r} with a varying size")
+            if isinstance(decl.array_size, ast.IntLiteral):
+                if decl.array_size.value <= 0:
+                    raise self._unsupported(f"array {name!r} with size <= 0")
+                length = str(decl.array_size.value)
+            else:
+                length = self._tmp("_n")
+                self._line(f"{length} = int({size.code})")
+                self._line(f"if {length} <= 0:")
+                self._push()
+                self._line(
+                    f'raise _IErr("array {name!r} must have a positive size, '
+                    f'got " + str({length}))'
+                )
+                self._pop()
+            py = scope.py.get(name)
+            if not py:
+                py = f"a{self._next_id()}_{name}"
+                scope.py[name] = py
+            if decl.address_space == "local":
+                scope.space[name] = "local"
+                self._line(f"{py} = rt.local({name!r}, {length})")
+            else:
+                scope.space[name] = "private"
+                self._line(f"{py} = _CPrivate({name!r}, {length}, L)")
+                if isinstance(decl.init, ast.InitList):
+                    for position, value_expr in enumerate(decl.init.values):
+                        value = self._emit_expr(value_expr, scope)
+                        if self.div:
+                            self._line(
+                                f"{py}.storem({position}, {value.code}, {self.mask})"
+                            )
+                        else:
+                            self._line(f"{py}.storef({position}, {value.code})")
+            return
+
+        if decl.init is not None:
+            value = self._emit_expr(decl.init, scope)
+        else:
+            value = _V("0", "u", "i")
+        is_int = isinstance(decl.var_type, ScalarType) and decl.var_type.is_integer
+        py = scope.py.get(name)
+        if not py:
+            py = f"v{self._next_id()}_{name}"
+            scope.py[name] = py
+        if scope.kind.get(name, "u") == "u":
+            code = value.code
+            if is_int:
+                code = f"int({code})"
+            self._line(f"{py} = {code}")
+            return
+        # Varying slot: promote uniforms, apply the declared-int cast.
+        if value.kind == "u":
+            code = f"int({value.code})" if is_int else value.code
+            code = f"_np.full(L, {code})"
+        else:
+            code = value.code
+            if is_int:
+                code = f"_np.asarray({code}).astype(_I)"
+        if self.div:
+            self._line(f"{py} = _decl_scalar({py}, {code}, {self.mask})")
+        else:
+            self._line(f"{py} = {code}")
+
+    def _next_id(self) -> int:
+        self.counter += 1
+        return self.counter
+
+    def _emit_if(self, stmt: ast.IfStmt, scope: _Scope) -> None:
+        cond = self._emit_expr(stmt.condition, scope)
+        if cond.kind == "u":
+            # Masked kills inside a uniform branch (a varying sub-if with a
+            # return, say) reassign the current mask to a temp defined only
+            # inside that Python branch; pre-bind a merge variable so the
+            # fall-through path always has a defined mask.
+            masked_kills = self._body_has_masked_kills(
+                stmt.then_body, scope, self.div
+            ) or (
+                stmt.else_body is not None
+                and self._body_has_masked_kills(stmt.else_body, scope, self.div)
+            )
+            entry_mask, entry_div = self.mask, self.div
+            merge = None
+            if masked_kills:
+                merge = self._tmp("_m")
+                self._line(f"{merge} = {self.mask}")
+                self.mask = merge
+
+            def emit_uniform_branch(body):
+                self.mask, self.div = merge or entry_mask, entry_div
+                self._emit_block(body.statements, scope)
+                if merge is not None and self.mask != merge:
+                    self._line(f"{merge} = {self.mask}")
+
+            self._line(f"if {cond.code}:")
+            self._suite(lambda: emit_uniform_branch(stmt.then_body))
+            if stmt.else_body is not None:
+                self._line("else:")
+                self._suite(lambda: emit_uniform_branch(stmt.else_body))
+            if masked_kills:
+                self.mask, self.div = merge, True
+            else:
+                self.mask, self.div = entry_mask, entry_div
+            return
+        test = self._tmp("_c")
+        self._line(f"{test} = ({cond.code}) != 0")
+        then_mask = self._tmp("_m")
+        self._line(f"{then_mask} = {self.mask} & {test}")
+        kills = self._contains_kills(stmt.then_body) or (
+            stmt.else_body is not None and self._contains_kills(stmt.else_body)
+        )
+        else_mask = None
+        if stmt.else_body is not None or kills:
+            else_mask = self._tmp("_m")
+            self._line(f"{else_mask} = {self.mask} & ~{test}")
+        entry_mask, entry_div = self.mask, self.div
+
+        def emit_branch(mask_var, body):
+            self.mask, self.div = mask_var, True
+            self._emit_block(body.statements, scope)
+            if self.mask != mask_var:
+                self._line(f"{mask_var} = {self.mask}")
+
+        self._line(f"if {then_mask}.any():")
+        self._suite(lambda: emit_branch(then_mask, stmt.then_body))
+        if stmt.else_body is not None:
+            self._line(f"if {else_mask}.any():")
+            self._suite(lambda: emit_branch(else_mask, stmt.else_body))
+        if kills:
+            merged = self._tmp("_m")
+            self._line(f"{merged} = {then_mask} | {else_mask}")
+            self.mask, self.div = merged, True
+        else:
+            self.mask, self.div = entry_mask, entry_div
+
+    def _emit_loop(self, stmt, scope: _Scope, init=None, step=None,
+                   check_first: bool = True) -> None:
+        entry_mask, entry_div = self.mask, self.div
+        if init is not None:
+            self._emit_stmt(init, scope)
+        if self._loop_masked(stmt, scope, self.div):
+            self._emit_masked_loop(stmt, scope, step, check_first)
+            return
+        # Uniform loop: plain Python control flow, no masks.
+        need_once = self._has_direct(stmt.body, ast.ContinueStmt)
+        if isinstance(stmt, ast.WhileStmt):
+            need_once = False  # `continue` maps to Python continue directly
+        need_flag = need_once and self._has_direct(stmt.body, ast.BreakStmt)
+        flag = self._tmp("_bk") if need_flag else None
+        self._line("while True:")
+        self._push()
+        if check_first and stmt.condition is not None:
+            cond = self._emit_expr(stmt.condition, scope)
+            self._line(f"if not ({cond.code}):")
+            self._push()
+            self._line("break")
+            self._pop()
+        if flag:
+            self._line(f"{flag} = False")
+        self.loops.append({
+            "masked": False, "once": need_once, "flag": flag,
+            "python_while": isinstance(stmt, ast.WhileStmt),
+        })
+        if need_once:
+            self._line("for _once in _ONCE:")
+            self._suite(lambda: self._emit_block(stmt.body.statements, scope))
+        else:
+            mark = len(self.lines)
+            self._emit_block(stmt.body.statements, scope)
+            if len(self.lines) == mark and (not check_first or stmt.condition is None):
+                self._line("pass")
+        self.loops.pop()
+        if flag:
+            self._line(f"if {flag}:")
+            self._push()
+            self._line("break")
+            self._pop()
+        if step is not None:
+            value = self._emit_expr(step, scope)
+            if not value.code.isidentifier():
+                self._line(value.code)
+        if not check_first and stmt.condition is not None:
+            cond = self._emit_expr(stmt.condition, scope)
+            self._line(f"if not ({cond.code}):")
+            self._push()
+            self._line("break")
+            self._pop()
+        self._pop()
+        self.mask, self.div = entry_mask, entry_div
+
+    def _has_direct(self, block, node_type, in_inner=False) -> bool:
+        """Whether ``block`` has a break/continue binding to *this* loop."""
+        for stmt in block.statements:
+            if isinstance(stmt, node_type) and not in_inner:
+                return True
+            if isinstance(stmt, ast.Block):
+                if self._has_direct(stmt, node_type, in_inner):
+                    return True
+            elif isinstance(stmt, ast.IfStmt):
+                if self._has_direct(stmt.then_body, node_type, in_inner):
+                    return True
+                if stmt.else_body is not None and self._has_direct(
+                    stmt.else_body, node_type, in_inner
+                ):
+                    return True
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                if self._has_direct(stmt.body, node_type, True):
+                    return True
+        return False
+
+    def _emit_masked_loop(self, stmt, scope: _Scope, step, check_first) -> None:
+        entry_mask, entry_div = self.mask, self.div
+        active = self._tmp("_ma")
+        self._line(f"{active} = {entry_mask}")
+        first = None
+        if not check_first and stmt.condition is not None:
+            first = self._tmp("_fr")
+            self._line(f"{first} = True")
+        self._line(f"while {active}.any():")
+        self._push()
+        if stmt.condition is not None:
+            if first:
+                self._line(f"if not {first}:")
+                self._push()
+            self.mask, self.div = active, True
+            cond = self._emit_expr(stmt.condition, scope)
+            self._line(f"{active} = {active} & (({cond.code}) != 0)")
+            self._line(f"if not {active}.any():")
+            self._push()
+            self._line("break")
+            self._pop()
+            if first:
+                self._pop()
+                self._line(f"{first} = False")
+        cont = self._tmp("_mc")
+        self._line(f"{cont} = _Z")
+        body_mask = self._tmp("_mx")
+        self._line(f"{body_mask} = {active}")
+        self.loops.append({"masked": True, "cont": cont})
+        self.mask, self.div = body_mask, True
+        self._emit_block(stmt.body.statements, scope)
+        if self.mask != body_mask:
+            self._line(f"{body_mask} = {self.mask}")
+        self.loops.pop()
+        self._line(f"{active} = {body_mask} | {cont}")
+        if step is not None:
+            self._line(f"if {active}.any():")
+            self._push()
+            self.mask, self.div = active, True
+            value = self._emit_expr(step, scope)
+            if not value.code.isidentifier():
+                self._line(value.code)
+            self._pop()
+        self._pop()
+        if self._count_returns(stmt.body):
+            after = self._tmp("_m")
+            self._line(f"{after} = {entry_mask} & ~{self.retref or '_ret'}")
+            self.mask, self.div = after, True
+        else:
+            self.mask, self.div = entry_mask, entry_div
+
+    def _emit_return(self, stmt: ast.ReturnStmt, scope: _Scope) -> None:
+        value = None
+        if stmt.value is not None:
+            value = self._emit_expr(stmt.value, scope)
+        if self.in_function:
+            arr = "None" if value is None else self._promote(value)
+            self._line(f"{self.fnflow}.record({self.mask}, {arr})")
+            self._line(f"{self.mask} = _Z")
+            return
+        if not self.div:
+            if value is not None and not value.code.isidentifier():
+                self._line(value.code)
+            self._line("return _b")
+            return
+        if value is not None and not value.code.isidentifier():
+            self._line(value.code)
+        self._line(f"_ret = _ret | {self.mask}")
+        self._line(f"{self.mask} = _Z")
+
+    def _emit_break(self) -> None:
+        if not self.loops:
+            raise self._unsupported("break outside of a loop")
+        loop = self.loops[-1]
+        if loop["masked"]:
+            self._line(f"{self.mask} = _Z")
+        elif loop.get("flag"):
+            self._line(f"{loop['flag']} = True")
+            self._line("break")
+        else:
+            self._line("break")
+
+    def _emit_continue(self) -> None:
+        if not self.loops:
+            raise self._unsupported("continue outside of a loop")
+        loop = self.loops[-1]
+        if loop["masked"]:
+            self._line(f"{loop['cont']} = {loop['cont']} | {self.mask}")
+            self._line(f"{self.mask} = _Z")
+        elif loop.get("python_while"):
+            self._line("continue")
+        else:
+            self._line("break")  # exits the _ONCE wrapper, falls to the step
+
+    # -- expressions ------------------------------------------------------
+    def _emit_expr(self, expr, scope: _Scope) -> _V:
+        if isinstance(expr, ast.IntLiteral):
+            return _V(repr(expr.value), "u", "i")
+        if isinstance(expr, ast.FloatLiteral):
+            return _V(repr(expr.value), "u", "f")
+        if isinstance(expr, ast.BoolLiteral):
+            return _V("1" if expr.value else "0", "u", "i")
+        if isinstance(expr, ast.Identifier):
+            name = expr.name
+            if name in scope.space:
+                return _V(scope.py[name], "c", scope.space[name])
+            if name in scope.kind:
+                py = scope.py.get(name)
+                if not py:
+                    raise self._unsupported(f"use of {name!r} before its declaration")
+                return _V(py, scope.kind[name], scope.dt.get(name, "x"))
+            if name in BUILTIN_CONSTANTS:
+                value = BUILTIN_CONSTANTS[name]
+                return _V(repr(value), "u", "i" if isinstance(value, int) else "f")
+            raise self._unsupported(f"undefined identifier {name!r}")
+        if isinstance(expr, ast.UnaryOp):
+            return self._emit_unary(expr, scope)
+        if isinstance(expr, ast.BinaryOp):
+            return self._emit_binary(expr, scope)
+        if isinstance(expr, ast.Assignment):
+            return self._emit_assignment(expr, scope)
+        if isinstance(expr, ast.Ternary):
+            return self._emit_ternary(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._emit_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._emit_load_index(expr, scope)
+        if isinstance(expr, ast.Cast):
+            value = self._emit_expr(expr.expr, scope)
+            if isinstance(expr.target_type, ScalarType) and expr.target_type.is_integer:
+                if value.kind == "u":
+                    return _V(f"int({value.code})", "u", "i")
+                return _V(f"_np.asarray({value.code}).astype(_I)", "v", "i")
+            if isinstance(expr.target_type, ScalarType) and expr.target_type.is_float:
+                if value.kind == "u":
+                    return _V(f"float({value.code})", "u", "f")
+                return _V(f"_np.asarray({value.code}).astype(_F)", "v", "f")
+            return value
+        raise self._unsupported(f"expression {type(expr).__name__}")
+
+    def _emit_unary(self, expr: ast.UnaryOp, scope: _Scope) -> _V:
+        if expr.op in ("++", "--"):
+            delta = "1" if expr.op == "++" else "-1"
+            old = self._emit_expr(expr.operand, scope)
+            old_t = self._tmp()
+            self._line(f"{old_t} = {old.code}")
+            dt = _promote_dt(old.dt, "i") if old.dt != "x" else "x"
+            new_t = self._tmp()
+            self._line(f"{new_t} = {old_t} + ({delta})")
+            self._store_to(expr.operand, _V(new_t, old.kind, dt), scope)
+            result = old_t if expr.postfix else new_t
+            return _V(result, old.kind, old.dt if expr.postfix else dt)
+        operand = self._emit_expr(expr.operand, scope)
+        if expr.op == "-":
+            return _V(f"(-({operand.code}))", operand.kind, operand.dt)
+        if expr.op == "+":
+            return operand
+        if expr.op == "!":
+            if operand.kind == "u":
+                return _V(f"(0 if {operand.code} else 1)", "u", "i")
+            return _V(f"(~(({operand.code}) != 0)).astype(_I)", "v", "i")
+        if expr.op == "~":
+            return _V(f"(~{self._int_code(operand)})", operand.kind, "i")
+        raise self._unsupported(f"unary operator {expr.op!r}")
+
+    def _emit_binary(self, expr: ast.BinaryOp, scope: _Scope) -> _V:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._emit_logical(expr, scope)
+        left = self._emit_expr(expr.left, scope)
+        right = self._emit_expr(expr.right, scope)
+        return self._apply_binary(op, left, right)
+
+    def _apply_binary(self, op: str, left: _V, right: _V) -> _V:
+        kind = _join_kind(left.kind, right.kind)
+        if op == "/":
+            if kind == "u":
+                return _V(f"_udiv({left.code}, {right.code})", "u",
+                          self._c_binop_dt("/", left.dt, right.dt))
+            return _V(f"_vdiv({left.code}, {right.code}, {self.mask})", "v",
+                      self._c_binop_dt("/", left.dt, right.dt))
+        if op == "%":
+            if kind == "u":
+                return _V(f"_umod({left.code}, {right.code})", "u",
+                          self._c_binop_dt("%", left.dt, right.dt))
+            return _V(f"_vmod({left.code}, {right.code}, {self.mask})", "v",
+                      self._c_binop_dt("%", left.dt, right.dt))
+        if op in ("+", "-", "*"):
+            return _V(f"(({left.code}) {op} ({right.code}))", kind,
+                      _promote_dt(left.dt, right.dt))
+        if op in ("<", ">", "<=", ">=", "==", "!="):
+            if kind == "u":
+                return _V(f"int(({left.code}) {op} ({right.code}))", "u", "i")
+            return _V(f"((({left.code}) {op} ({right.code})).astype(_I))", "v", "i")
+        if op in ("&", "|", "^", "<<", ">>"):
+            lc, rc = self._int_code(left), self._int_code(right)
+            return _V(f"(({lc}) {op} ({rc}))", kind, "i")
+        raise self._unsupported(f"binary operator {op!r}")
+
+    def _emit_logical(self, expr: ast.BinaryOp, scope: _Scope) -> _V:
+        is_and = expr.op == "&&"
+        left = self._emit_expr(expr.left, scope)
+        kind, _ = self._c_expr(expr, _ScopeView(scope), self.div)
+        if kind == "u":
+            captured, right = self._capture_expr(
+                lambda: self._emit_expr(expr.right, scope)
+            )
+            if not captured:
+                if is_and:
+                    code = f"((1 if ({right.code}) else 0) if ({left.code}) else 0)"
+                else:
+                    code = f"(1 if ({left.code}) else (1 if ({right.code}) else 0))"
+                return _V(code, "u", "i")
+            out = self._tmp()
+            if is_and:
+                self._line(f"{out} = 0")
+                self._line(f"if ({left.code}):")
+                self._push()
+                self._splice(captured)
+                self._line(f"{out} = 1 if ({right.code}) else 0")
+                self._pop()
+            else:
+                self._line(f"{out} = 1")
+                self._line(f"if not ({left.code}):")
+                self._push()
+                self._splice(captured)
+                self._line(f"{out} = 1 if ({right.code}) else 0")
+                self._pop()
+            return _V(out, "u", "i")
+        # Varying result: the vectorized backend's masked short-circuit.
+        out = self._tmp()
+        self._line(f"{out} = _np.zeros(L, _I)")
+        right_mask = self._tmp("_m")
+        test = self._tmp("_c")
+        self._line(f"{test} = (({left.code}) != 0)")
+        if left.kind == "u":
+            if is_and:
+                self._line(f"{right_mask} = {self.mask} if {test} else _Z")
+            else:
+                self._line(f"if {test}:")
+                self._push()
+                self._line(f"{out}[{self.mask}] = 1")
+                self._pop()
+                self._line(f"{right_mask} = _Z if {test} else {self.mask}")
+        else:
+            if is_and:
+                self._line(f"{right_mask} = {self.mask} & {test}")
+            else:
+                self._line(f"{out}[{self.mask} & {test}] = 1")
+                self._line(f"{right_mask} = {self.mask} & ~{test}")
+        self._line(f"if {right_mask}.any():")
+        self._push()
+        saved_mask, saved_div = self.mask, self.div
+        self.mask, self.div = right_mask, True
+        right = self._emit_expr(expr.right, scope)
+        self._line(f"{out}[{right_mask} & (({right.code}) != 0)] = 1")
+        self.mask, self.div = saved_mask, saved_div
+        self._pop()
+        return _V(out, "v", "i")
+
+    def _emit_assignment(self, expr: ast.Assignment, scope: _Scope) -> _V:
+        value = self._emit_expr(expr.value, scope)
+        if expr.op != "=":
+            current = self._emit_expr(expr.target, scope)
+            value = self._apply_binary(expr.op[:-1], current, value)
+        value = self._materialize(value)
+        self._store_to(expr.target, value, scope)
+        return value
+
+    def _materialize(self, value: _V) -> _V:
+        """Bind a composite expression to a temp so it is evaluated once."""
+        if value.code.isidentifier() or value.code.replace(".", "", 1).isdigit():
+            return value
+        name = self._tmp()
+        self._line(f"{name} = {value.code}")
+        return _V(name, value.kind, value.dt)
+
+    def _store_to(self, target, value: _V, scope: _Scope) -> None:
+        if isinstance(target, ast.Identifier):
+            self._store_ident(target.name, value, scope)
+            return
+        if isinstance(target, ast.Index):
+            self._store_index(target, value, scope)
+            return
+        raise self._unsupported("assignment target")
+
+    def _store_ident(self, name: str, value: _V, scope: _Scope) -> None:
+        if name not in scope.kind:
+            raise self._unsupported(f"assignment to undefined variable {name!r}")
+        py = scope.py.get(name)
+        if not py:
+            raise self._unsupported(f"assignment to {name!r} before its declaration")
+        target_dt = scope.dt.get(name, "x")
+        if scope.kind[name] == "u":
+            if target_dt == "i" and value.dt == "f":
+                self._line(f"{py} = int({value.code})")
+            elif target_dt == "x" or value.dt == "x":
+                self._line(f"{py} = _uassign({py}, {value.code})")
+            else:
+                self._line(f"{py} = {value.code}")
+            return
+        code = self._promote(value)
+        if self.div:
+            self._line(f"{py} = _amask({py}, {code}, {self.mask})")
+            return
+        if target_dt == "i":
+            if value.dt == "f" or (value.kind == "u" and value.dt != "i"):
+                code = (f"int({value.code})" if value.kind == "u"
+                        else f"({value.code}).astype(_I)")
+                code = f"_np.full(L, {code})" if value.kind == "u" else code
+                self._line(f"{py} = {code}")
+            elif value.dt == "x":
+                self._line(f"{py} = _vtrunc({code})")
+            else:
+                self._line(f"{py} = {code}")
+        elif target_dt == "x":
+            self._line(f"{py} = _afull({py}, {code})")
+        else:
+            self._line(f"{py} = {code}")
+
+    def _container(self, base, scope: _Scope):
+        value = self._emit_expr(base, scope)
+        if value.kind != "c":
+            raise self._unsupported("indexing a non-array value")
+        return value
+
+    def _store_index(self, target: ast.Index, value: _V, scope: _Scope) -> None:
+        container = self._container(target.base, scope)
+        index = self._emit_expr(target.index, scope)
+        space = container.dt  # the container _V carries the space in .dt
+        py = container.code
+        seg = self.batched and space in ("global", "local")
+        if index.kind == "u" and not seg and space != "private":
+            idx = self._idx_code(index)
+            if self.div:
+                self._line(f"{py}.storeum({idx}, {value.code}, {self.mask})")
+            else:
+                self._line(f"{py}.storeu({idx}, {value.code}, L)")
+            return
+        idx = self._idx_code(index)
+        if self.div:
+            self._line(f"{py}.storem({idx}, {value.code}, {self.mask})")
+        else:
+            self._line(f"{py}.storef({idx}, {value.code})")
+
+    def _emit_load_index(self, expr: ast.Index, scope: _Scope) -> _V:
+        container = self._container(expr.base, scope)
+        index = self._emit_expr(expr.index, scope)
+        space = container.dt
+        py = container.code
+        seg = self.batched and space in ("global", "local")
+        varying_result = space == "private" or seg or index.kind == "v"
+        idx = self._idx_code(index)
+        if index.kind == "u" and not seg and space != "private":
+            if self.div:
+                code = f"{py}.loadum({idx}, {self.mask})"
+            else:
+                code = f"{py}.loadu({idx}, L)"
+            return _V(code, "u", "f")
+        if self.div:
+            code = f"{py}.loadm({idx}, {self.mask})"
+        else:
+            code = f"{py}.loadf({idx})"
+        return _V(code, "v" if varying_result else "u", "f")
+
+    def _emit_ternary(self, expr: ast.Ternary, scope: _Scope) -> _V:
+        cond = self._emit_expr(expr.condition, scope)
+        if cond.kind == "u":
+            cap_a, a = self._capture_expr(lambda: self._emit_expr(expr.if_true, scope))
+            cap_b, b = self._capture_expr(lambda: self._emit_expr(expr.if_false, scope))
+            kind = _join_kind(a.kind, b.kind)
+            if not cap_a and not cap_b and kind == "u":
+                return _V(
+                    f"(({a.code}) if ({cond.code}) else ({b.code}))",
+                    "u", _promote_dt(a.dt, b.dt),
+                )
+            out = self._tmp()
+            self._line(f"if ({cond.code}):")
+            self._push()
+            self._splice(cap_a)
+            code_a = self._promote(a) if kind == "v" else a.code
+            self._line(f"{out} = {code_a}")
+            self._pop()
+            self._line("else:")
+            self._push()
+            self._splice(cap_b)
+            code_b = self._promote(b) if kind == "v" else b.code
+            self._line(f"{out} = {code_b}")
+            self._pop()
+            return _V(out, kind, _promote_dt(a.dt, b.dt))
+        test = self._tmp("_c")
+        self._line(f"{test} = (({cond.code}) != 0)")
+        mask_t = self._tmp("_m")
+        mask_f = self._tmp("_m")
+        self._line(f"{mask_t} = {self.mask} & {test}")
+        self._line(f"{mask_f} = {self.mask} & ~{test}")
+        parts = self._tmp("_p")
+        self._line(f"{parts} = []")
+        saved_mask, saved_div = self.mask, self.div
+        for arm_mask, arm_expr in ((mask_t, expr.if_true), (mask_f, expr.if_false)):
+            self._line(f"if {arm_mask}.any():")
+            self._push()
+            self.mask, self.div = arm_mask, True
+            arm = self._emit_expr(arm_expr, scope)
+            self._line(f"{parts}.append(({arm_mask}, {self._promote(arm)}))")
+            self.mask, self.div = saved_mask, saved_div
+            self._pop()
+        out = self._tmp()
+        self._line(f"{out} = _merge_parts(L, {parts})")
+        return _V(out, "v", _promote_dt(
+            self._c_expr(expr.if_true, _ScopeView(scope), True)[1],
+            self._c_expr(expr.if_false, _ScopeView(scope), True)[1],
+        ))
+
+    # -- calls ------------------------------------------------------------
+    def _emit_call(self, call: ast.Call, scope: _Scope) -> _V:
+        name = call.name
+        if name in CONTEXT_BUILTINS:
+            dim = self._context_dim(call)
+            field = _CONTEXT_DIMS[name]
+            if field == "lsz":
+                return _V(str(self.local_size[dim]), "u", "i")
+            short = {"gid": "g", "lid": "l", "grp": "G", "gsz": "S", "ngrp": "N"}[field]
+            ident = f"{short}{dim}"
+            self.used_ids.add(ident)
+            if field in ("gid", "lid"):
+                return _V(ident, "v", "i")
+            return _V(ident, "u", "i")
+        if name in SYNC_BUILTINS:
+            raise self._unsupported("barrier()/mem_fence() inside an expression")
+        if is_builtin(name):
+            args = [self._emit_expr(arg, scope) for arg in call.args]
+            if any(arg.kind == "c" for arg in args):
+                raise self._unsupported(f"array argument to built-in {name!r}")
+            kinds = [arg.kind for arg in args]
+            dts = [arg.dt for arg in args]
+            cls = _BUILTIN_DT.get(name, "x")
+            dt = {"p": _promote_dt(*dts) if dts else "i", "f": "f",
+                  "i": "i", "x": "x"}[cls]
+            uniform = not kinds or _join_kind(*kinds) == "u"
+            if uniform:
+                impl = self._bind(f"_bi_{name}", f"_BI_IMPL({name!r})")
+                arg_code = ", ".join(arg.code for arg in args)
+                return _V(f"_ucall({name!r}, {impl}, {arg_code})", "u", dt)
+            if name in _VECTOR_BUILTINS:
+                fn = self._bind(f"_vb_{name}", f"_VB[{name!r}]")
+                arg_code = ", ".join(arg.code for arg in args)
+                return _V(f"{fn}({self.mask}, {arg_code})", "v", dt)
+            fn = self._bind(f"_vf_{name}", f"_VF({name!r})")
+            arg_code = ", ".join(self._promote(arg) for arg in args)
+            return _V(f"{fn}({self.mask}, {arg_code})", "v", dt)
+        if name in self.functions:
+            return self._emit_user_call(self.functions[name], call, scope)
+        raise self._unsupported(f"call to unknown function {name!r}")
+
+    def _emit_user_call(self, func: ast.FunctionDef, call: ast.Call,
+                        scope: _Scope) -> _V:
+        arg_values = [self._emit_expr(arg, scope) for arg in call.args]
+        arg_sigs = tuple(
+            ("c", v.dt) if v.kind == "c" else (v.kind, v.dt) for v in arg_values
+        )
+        kind, dt, simple = self._fn_summary(func, arg_sigs, self.div)
+        callee = self._callee_scope(func, arg_sigs)
+        for param, v in zip(func.params, arg_values):
+            if v.kind == "c":
+                callee.py[param.name] = v.code
+            else:
+                bound = self._tmp("_a")
+                self._line(f"{bound} = {v.code}")
+                callee.py[param.name] = bound
+        self._inline_stack.append(func.name)
+        try:
+            if simple:
+                self._classify(func.body, callee, self.div, in_function=True)
+                simple_prebound = {p.name for p in func.params} | set(self.constants)
+                for name in sorted(callee.divdecl - simple_prebound):
+                    py = callee.py.get(name)
+                    if not py:
+                        py = f"v{self._next_id()}_{name}"
+                        callee.py[name] = py
+                    self._line(f"{py} = None")
+                for stmt in func.body.statements[:-1]:
+                    self._emit_stmt_in_function(stmt, callee)
+                result = self._emit_expr(func.body.statements[-1].value, callee)
+                return self._materialize(_V(result.code, kind, dt))
+            self._classify(func.body, callee, True, in_function=True)
+            flow = self._tmp("_ff")
+            self._line(f"{flow} = _FnFlow(L)")
+            fn_mask = self._tmp("_m")
+            self._line(f"{fn_mask} = {self.mask}")
+            fn_prebound = {p.name for p in func.params} | set(self.constants)
+            for name in sorted(callee.divdecl - fn_prebound):
+                py = callee.py.get(name)
+                if not py:
+                    py = f"v{self._next_id()}_{name}"
+                    callee.py[name] = py
+                self._line(f"{py} = None")
+            saved = (self.mask, self.div, self.in_function, self.fnflow,
+                     self.retref, self.loops)
+            self.mask, self.div = fn_mask, True
+            self.in_function, self.fnflow = True, flow
+            self.retref, self.loops = f"{flow}.returned", []
+            self._emit_block(func.body.statements, callee)
+            (self.mask, self.div, self.in_function, self.fnflow,
+             self.retref, self.loops) = saved
+            out = self._tmp()
+            self._line(f"{out} = {flow}.result()")
+            return _V(out, "v", dt)
+        finally:
+            self._inline_stack.pop()
+
+    def _emit_stmt_in_function(self, stmt, callee: _Scope) -> None:
+        saved = self.in_function
+        self.in_function = True
+        try:
+            self._emit_stmt(stmt, callee)
+        finally:
+            self.in_function = saved
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level entry points
+# ---------------------------------------------------------------------------
+#: Process-wide memo of compiled group functions, keyed by artifact key, so
+#: re-perforating the same (kernel, config) — as sweeps and serve sessions
+#: do — skips lowering, disk access and compilation entirely.
+_FN_MEMO: dict[str, object] = {}
+
+
+def lower_kernel(
+    program: ast.Program,
+    kernel_name: str | None = None,
+    local_size: tuple[int, ...] = (1,),
+    batched: bool = False,
+) -> str:
+    """Lower one kernel of ``program`` to specialized Python source."""
+    lowering = _Emitter(program, kernel_name, tuple(int(v) for v in local_size), batched)
+    return lowering.lower()
+
+
+def artifact_key(
+    cl_source: str,
+    kernel_name: str,
+    local_size: tuple[int, ...],
+    batched: bool,
+) -> str:
+    """Content hash identifying one lowered artifact.
+
+    Keyed on the canonical (OpenCL C) form of the program — which embeds
+    the perforation configuration, since the transforms rewrote the AST —
+    plus the kernel name, the baked work-group shape, the batched flag and
+    the lowering format version.
+    """
+    blob = (
+        f"repro-codegen|v{CODEGEN_FORMAT_VERSION}|{kernel_name}|"
+        f"{tuple(local_size)}|{int(batched)}|{cl_source}"
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _compile_artifact(source: str, key: str):
+    """Compile + exec an artifact source; ``None`` if it is corrupt.
+
+    Any failure counts — not just ``SyntaxError``: a damaged artifact can
+    parse fine yet raise at module-exec time, and must still be treated as
+    a miss so the caller drops it and lowers fresh.
+    """
+    try:
+        code = compile(source, f"<repro-codegen:{key[:12]}>", "exec")
+        namespace = _exec_namespace()
+        exec(code, namespace)
+        fn = namespace.get("kernel_group")
+        return fn if callable(fn) else None
+    except Exception:
+        return None
+
+
+class CodegenKernel:
+    """Executes one kernellang kernel through generated specialized source.
+
+    One instance exists per :class:`~repro.clsim.kernel.Kernel`; the actual
+    compiled group functions are specialized per (work-group shape,
+    batched?) on first use and shared process-wide by content key.
+    """
+
+    def __init__(self, program: ast.Program, kernel_name: str | None = None) -> None:
+        self.program = program
+        self.kernel_def = program.kernel(kernel_name)
+        self.constants = KernelInterpreter(program, self.kernel_def.name).constants
+        self.cl_source = clgen_generate(program)
+        self.const_containers = {
+            name: _CConstant(name, value.values)
+            for name, value in self.constants.items()
+            if isinstance(value, _ConstantArray)
+        }
+        self._fns: dict = {}
+
+    # ------------------------------------------------------------------
+    def function(self, local_size: tuple[int, ...], batched: bool):
+        """The compiled group function for one work-group shape."""
+        shape_key = (tuple(local_size), batched)
+        fn = self._fns.get(shape_key)
+        if fn is not None:
+            return fn
+        key = artifact_key(
+            self.cl_source, self.kernel_def.name, shape_key[0], batched
+        )
+        fn = _FN_MEMO.get(key)
+        if fn is None:
+            from ..api.artifacts import default_cache
+
+            cache = default_cache()
+            source = cache.get(key) if cache is not None else None
+            from_cache = source is not None
+            if source is None:
+                source = lower_kernel(
+                    self.program, self.kernel_def.name, shape_key[0], batched
+                )
+            fn = _compile_artifact(source, key)
+            if fn is None and from_cache:
+                # Corrupt/stale on-disk artifact: drop it and lower fresh.
+                cache.invalidate(key)
+                source = lower_kernel(
+                    self.program, self.kernel_def.name, shape_key[0], batched
+                )
+                from_cache = False
+                fn = _compile_artifact(source, key)
+            if fn is None:
+                raise LoweringError(
+                    f"generated source for kernel {self.kernel_def.name!r} "
+                    f"failed to compile"
+                )
+            if cache is not None and not from_cache:
+                cache.put(key, source)
+            _FN_MEMO[key] = fn
+        self._fns[shape_key] = fn
+        return fn
+
+    # ------------------------------------------------------------------
+    def run_group(self, ctx: KernelContext, ndrange, group_id) -> int:
+        """Run all work-items of one group; returns the number of barriers."""
+        fn = self.function(ndrange.local_size, batched=False)
+        rt = _build_runtime(
+            self.const_containers, self.kernel_def.params, ctx, ndrange,
+            tuple(group_id), None,
+        )
+        with np.errstate(all="ignore"):
+            return fn(rt)
+
+    def run_group_batch(self, ctx: KernelContext, ndrange, group_id, batch: int) -> int:
+        """Run one work group of ``batch`` stacked compatible launches."""
+        if batch <= 0:
+            raise InterpreterError(f"batch must be positive, got {batch}")
+        fn = self.function(ndrange.local_size, batched=True)
+        rt = _build_runtime(
+            self.const_containers, self.kernel_def.params, ctx, ndrange,
+            tuple(group_id), batch,
+        )
+        with np.errstate(all="ignore"):
+            return fn(rt) * batch
+
+
+def codegen_kernel(kernel: Kernel) -> CodegenKernel:
+    """Return (building and caching on first use) the codegen form of a
+    :class:`~repro.clsim.kernel.Kernel` that carries its kernellang AST."""
+    cached = getattr(kernel, "_codegen", None)
+    if cached is not None:
+        return cached
+    program = getattr(kernel, "ast_program", None)
+    if program is None:
+        raise InterpreterError(
+            f"kernel {kernel.name!r} carries no kernellang AST; only kernels "
+            "compiled from kernellang source can run on the codegen backend"
+        )
+    compiled = CodegenKernel(program, getattr(kernel, "ast_kernel_name", None))
+    kernel._codegen = compiled
+    return compiled

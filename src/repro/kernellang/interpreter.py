@@ -18,7 +18,6 @@ reconstruct / compute phases of the perforated kernels require.
 from __future__ import annotations
 
 import math
-from typing import Mapping
 
 import numpy as np
 
@@ -34,7 +33,7 @@ from .builtins import (
     is_builtin,
 )
 from .errors import InterpreterError
-from .types import ArrayType, PointerType, ScalarType
+from .types import PointerType, ScalarType
 
 
 class _BreakSignal(Exception):

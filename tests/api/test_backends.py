@@ -10,7 +10,6 @@ from repro.clsim import Executor
 from repro.clsim.backends import (
     DEFAULT_BACKEND,
     EXECUTION_BACKENDS,
-    ExecutionBackend,
     InterpreterBackend,
     VectorizedBackend,
     available_backends,

@@ -1,14 +1,15 @@
 """Cross-backend conformance suite.
 
-The vectorized execution backend must be observationally identical to the
-reference interpreter backend: bit-for-bit equal outputs *and* exactly
-equal :class:`~repro.clsim.executor.ExecutionStats` access counters, across
-the full matrix of applications x perforation schemes x reconstruction
-modes the compiler path supports.  Any drift between the backends fails
-this suite (CI runs it on every push).
+Every compiled execution backend (the ``vectorized`` AST-walking backend
+and the ``codegen`` source-specializing backend) must be observationally
+identical to the reference interpreter backend: bit-for-bit equal outputs
+*and* exactly equal :class:`~repro.clsim.executor.ExecutionStats` access
+counters, across the full matrix of applications x perforation schemes x
+reconstruction modes the compiler path supports.  Any drift between the
+backends fails this suite (CI runs it on every push).
 
 The matrix runs on small inputs so the interpreter side stays cheap; the
-vectorized side is exercised on paper-scale inputs by the benchmarks.
+compiled backends are exercised on paper-scale inputs by the benchmarks.
 """
 
 import numpy as np
@@ -27,6 +28,9 @@ from repro.data import generate_image, hotspot_single
 
 #: Work-group shape of the conformance runs (tiles the 16x16 inputs).
 WORK_GROUP = (8, 8)
+
+#: The compiled backends checked against the reference interpreter.
+COMPILED_BACKENDS = ("vectorized", "codegen")
 
 APP_NAMES = ("gaussian", "inversion", "sobel3", "sobel5", "median", "hotspot")
 
@@ -82,32 +86,47 @@ def engine():
     return PerforationEngine()
 
 
-class TestBackendParity:
-    """Vectorized == interpreter, bit for bit, across the whole matrix."""
+#: Interpreter reference runs memoized per (app, config): each compiled
+#: backend re-checks against the same reference without re-interpreting.
+_REFERENCE_MEMO: dict = {}
 
+
+def _reference(engine, app, inputs, config, app_name):
+    key = (app_name, config.label)
+    cached = _REFERENCE_MEMO.get(key)
+    if cached is None:
+        cached = _REFERENCE_MEMO[key] = engine.run_compiled(
+            app, inputs, config, backend="interpreter", with_stats=True
+        )
+    return cached
+
+
+class TestBackendParity:
+    """Compiled backends == interpreter, bit for bit, across the matrix."""
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
     @pytest.mark.parametrize("app_name", APP_NAMES)
-    def test_outputs_and_stats_identical(self, engine, app_name):
+    def test_outputs_and_stats_identical(self, engine, app_name, backend):
         app = get_application(app_name)
         inputs = _inputs_for(app_name)
         for config in _configs_for(app):
-            reference, ref_stats = engine.run_compiled(
-                app, inputs, config, backend="interpreter", with_stats=True
+            reference, ref_stats = _reference(engine, app, inputs, config, app_name)
+            produced, got_stats = engine.run_compiled(
+                app, inputs, config, backend=backend, with_stats=True
             )
-            vectorized, vec_stats = engine.run_compiled(
-                app, inputs, config, backend="vectorized", with_stats=True
-            )
-            label = f"{app_name}/{config.label}"
+            label = f"{app_name}/{config.label}/{backend}"
             np.testing.assert_array_equal(
-                vectorized, reference, err_msg=f"output drift for {label}"
+                produced, reference, err_msg=f"output drift for {label}"
             )
-            assert _stats_tuple(vec_stats) == _stats_tuple(ref_stats), (
+            assert _stats_tuple(got_stats) == _stats_tuple(ref_stats), (
                 f"ExecutionStats drift for {label}: "
-                f"{_stats_tuple(vec_stats)} != {_stats_tuple(ref_stats)}"
+                f"{_stats_tuple(got_stats)} != {_stats_tuple(ref_stats)}"
             )
 
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
     @pytest.mark.parametrize("app_name", ["gaussian", "inversion"])
-    def test_matches_numpy_fast_path(self, engine, app_name):
-        """Both backends implement the same approximation as the NumPy
+    def test_matches_numpy_fast_path(self, engine, app_name, backend):
+        """All backends implement the same approximation as the NumPy
         sampler fast path (the row schemes are reconciled exactly)."""
         app = get_application(app_name)
         image = generate_image("natural", size=16, seed=7)
@@ -117,11 +136,12 @@ class TestBackendParity:
             work_group=WORK_GROUP,
         )
         fast_path = app.approximate(image, config)
-        vectorized = engine.run_compiled(app, image, config, backend="vectorized")
-        np.testing.assert_array_equal(vectorized, fast_path)
+        produced = engine.run_compiled(app, image, config, backend=backend)
+        np.testing.assert_array_equal(produced, fast_path)
 
-    def test_helper_function_with_pointer_argument(self):
-        """Helper functions taking buffer pointers work on both backends."""
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_helper_function_with_pointer_argument(self, backend):
+        """Helper functions taking buffer pointers work on every backend."""
         from repro.kernellang.interpreter import compile_kernel
 
         source = """
@@ -139,21 +159,20 @@ class TestBackendParity:
         """
         image = generate_image("natural", size=8, seed=1)
         outputs = {}
-        for backend in ("interpreter", "vectorized"):
+        for run_backend in ("interpreter", backend):
             inb = Buffer(image, "input")
             outb = Buffer(np.zeros_like(image), "output")
-            Executor(backend=backend).run(
+            Executor(backend=run_backend).run(
                 compile_kernel(source),
                 NDRange((8, 8), (4, 4)),
                 {"input": inb, "output": outb, "width": 8, "height": 8},
             )
-            outputs[backend] = outb.array
-        np.testing.assert_array_equal(
-            outputs["vectorized"], outputs["interpreter"]
-        )
-        np.testing.assert_array_equal(outputs["vectorized"], image * 2.0)
+            outputs[run_backend] = outb.array
+        np.testing.assert_array_equal(outputs[backend], outputs["interpreter"])
+        np.testing.assert_array_equal(outputs[backend], image * 2.0)
 
-    def test_larger_image_and_uneven_tiling(self, engine):
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    def test_larger_image_and_uneven_tiling(self, engine, backend):
         """Parity holds when the halo spans several group boundaries."""
         app = get_application("sobel5")
         image = generate_image("pattern", size=32, seed=9)
@@ -166,7 +185,25 @@ class TestBackendParity:
             app, image, config, backend="interpreter", with_stats=True
         )
         b, sb = engine.run_compiled(
+            app, image, config, backend=backend, with_stats=True
+        )
+        np.testing.assert_array_equal(a, b)
+        assert _stats_tuple(sa) == _stats_tuple(sb)
+
+    def test_compiled_backends_agree_with_each_other(self, engine):
+        """Belt and braces: vectorized and codegen agree directly too."""
+        app = get_application("median")
+        image = generate_image("natural", size=16, seed=13)
+        config = ApproximationConfig(
+            scheme=RowPerforation(step=2),
+            reconstruction=NEAREST_NEIGHBOR,
+            work_group=WORK_GROUP,
+        )
+        a, sa = engine.run_compiled(
             app, image, config, backend="vectorized", with_stats=True
+        )
+        b, sb = engine.run_compiled(
+            app, image, config, backend="codegen", with_stats=True
         )
         np.testing.assert_array_equal(a, b)
         assert _stats_tuple(sa) == _stats_tuple(sb)

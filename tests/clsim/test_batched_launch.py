@@ -4,9 +4,9 @@ A batched launch (:meth:`Executor.run_batch` /
 :meth:`PerforationEngine.run_compiled_batch`) must be observationally a
 pure throughput optimisation: bit-identical outputs and *summed*
 :class:`ExecutionStats` compared with running the same requests one by
-one — on the vectorized backend (which stacks the requests into single
-work-group launches) and on the interpreter backend (which serves batches
-through the serial fallback).
+one — on the vectorized and codegen backends (which stack the requests
+into single work-group launches) and on the interpreter backend (which
+serves batches through the serial fallback).
 """
 
 import numpy as np
@@ -17,7 +17,6 @@ from repro.clsim import Executor, KernelExecutionError, NDRange
 from repro.clsim.memory import Buffer, SegmentedBuffer
 from repro.clsim.errors import BufferSizeError
 from repro.core import ApproximationConfig
-from repro.core.config import ACCURATE_CONFIG
 from repro.core.schemes import RowPerforation, StencilPerforation
 from repro.data import generate_image, hotspot_single
 
@@ -60,7 +59,7 @@ def _summed(stats_list):
 
 
 class TestBatchedLaunchParity:
-    @pytest.mark.parametrize("backend", ["vectorized", "interpreter"])
+    @pytest.mark.parametrize("backend", ["vectorized", "codegen", "interpreter"])
     @pytest.mark.parametrize(
         "app_name,config",
         [
@@ -89,8 +88,9 @@ class TestBatchedLaunchParity:
             np.testing.assert_array_equal(expected, actual)
         assert _stats_tuple(stats) == _summed(s for _, s in individual)
 
-    def test_batch_of_one_matches_single_run(self):
-        engine = PerforationEngine(backend="vectorized")
+    @pytest.mark.parametrize("backend", ["vectorized", "codegen"])
+    def test_batch_of_one_matches_single_run(self, backend):
+        engine = PerforationEngine(backend=backend)
         image = generate_image("natural", size=SIZE, seed=5)
         single = engine.run_compiled("gaussian", image, ROWS1)
         [batched] = engine.run_compiled_batch("gaussian", [image], ROWS1)

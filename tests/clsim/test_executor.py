@@ -7,7 +7,6 @@ from repro.clsim import (
     BARRIER,
     BarrierDivergenceError,
     Buffer,
-    Executor,
     Kernel,
     KernelArgumentError,
     KernelExecutionError,

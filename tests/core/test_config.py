@@ -8,8 +8,6 @@ from repro.core import (
     ConfigurationError,
     DEFAULT_WORK_GROUP,
     FIGURE8_CONFIGS,
-    LINEAR_INTERPOLATION,
-    NEAREST_NEIGHBOR,
     ROWS1,
     ROWS1_LI,
     ROWS1_NN,

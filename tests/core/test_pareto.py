@@ -2,7 +2,6 @@
 
 from dataclasses import dataclass
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import dominates, hypervolume_2d, is_pareto_optimal, pareto_front

@@ -11,7 +11,6 @@ from repro.core import (
     COLS1,
     KernelPerforator,
     LINEAR_INTERPOLATION,
-    NEAREST_NEIGHBOR,
     ROWS1_NN,
     ROWS2_NN,
     STENCIL1_NN,

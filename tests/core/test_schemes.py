@@ -8,7 +8,6 @@ from repro.core import (
     ACCURATE,
     COLS1,
     ColumnPerforation,
-    PerforationScheme,
     ROWS1,
     ROWS2,
     RandomPerforation,

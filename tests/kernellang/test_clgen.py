@@ -1,0 +1,110 @@
+"""Tests for the OpenCL C code generator (repro.kernellang.clgen)."""
+
+import numpy as np
+import pytest
+
+from repro.clsim import Buffer, Executor, NDRange
+from repro.kernellang import ast, generate, parse_program
+from repro.kernellang.interpreter import KernelInterpreter
+
+
+pytestmark = pytest.mark.slow
+
+SOURCE = """
+__constant float coeff[3] = {0.25f, 0.5f, 0.25f};
+
+float helper(float v) { return v * v; }
+
+__kernel void smooth(__global const float* input, __global float* output, int width, int height) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float acc = 0.0f;
+    for (int dx = -1; dx <= 1; dx++) {
+        int xx = clamp(x + dx, 0, width - 1);
+        acc += input[y * width + xx] * coeff[dx + 1];
+    }
+    if (acc > 100.0f) { acc = helper(acc) / acc; } else { acc = acc + 0.0f; }
+    output[y * width + x] = acc;
+}
+"""
+
+
+def execute(program, image, local=(8, 8)):
+    executor = Executor()
+    kernel = KernelInterpreter(program).as_clsim_kernel()
+    height, width = image.shape
+    inb, outb = Buffer(image, "in"), Buffer(np.zeros_like(image), "out")
+    executor.run(
+        kernel,
+        NDRange((width, height), local),
+        {"input": inb, "output": outb, "width": width, "height": height},
+    )
+    return outb.array
+
+
+class TestRoundTrip:
+    def test_generated_source_reparses(self):
+        program = parse_program(SOURCE)
+        regenerated = generate(program)
+        reparsed = parse_program(regenerated)
+        assert reparsed.kernel().name == "smooth"
+        assert len(reparsed.functions) == 2
+        assert len(reparsed.globals) == 1
+
+    def test_round_trip_preserves_semantics(self, rng):
+        image = rng.random((16, 16)) * 200
+        original = parse_program(SOURCE)
+        round_tripped = parse_program(generate(original))
+        np.testing.assert_allclose(execute(original, image), execute(round_tripped, image))
+
+    def test_double_round_trip_is_stable(self):
+        once = generate(parse_program(SOURCE))
+        twice = generate(parse_program(once))
+        assert once == twice
+
+
+class TestFormatting:
+    def test_kernel_qualifier_and_address_spaces_emitted(self):
+        text = generate(parse_program(SOURCE))
+        assert "__kernel void smooth" in text
+        assert "__global const float* input" in text
+        assert "__constant float coeff[3]" in text
+        assert "barrier" not in text
+
+    def test_float_literals_have_f_suffix(self):
+        text = generate(parse_program(SOURCE))
+        assert "0.25f" in text
+        assert "100.0f" in text
+
+    def test_expression_generation(self):
+        expr = ast.BinaryOp("+", ast.Identifier("a"), ast.IntLiteral(2))
+        assert generate(expr) == "a + 2"
+        ternary = ast.Ternary(ast.Identifier("c"), ast.IntLiteral(1), ast.IntLiteral(0))
+        assert generate(ternary) == "(c ? 1 : 0)"
+
+    def test_statement_generation(self):
+        stmt = ast.IfStmt(
+            condition=ast.BinaryOp(">", ast.Identifier("x"), ast.IntLiteral(0)),
+            then_body=ast.Block([ast.ExprStmt(ast.Assignment("=", ast.Identifier("y"), ast.IntLiteral(1)))]),
+            else_body=ast.Block([ast.ExprStmt(ast.Assignment("=", ast.Identifier("y"), ast.IntLiteral(2)))]),
+        )
+        text = generate(stmt)
+        assert "if (x > 0) {" in text
+        assert "} else {" in text
+
+    def test_nested_binary_ops_parenthesised(self):
+        expr = ast.BinaryOp(
+            "*",
+            ast.BinaryOp("+", ast.Identifier("a"), ast.Identifier("b")),
+            ast.Identifier("c"),
+        )
+        assert generate(expr) == "(a + b) * c"
+
+    def test_for_loop_formatting(self):
+        program = parse_program(SOURCE)
+        text = generate(program.kernel())
+        assert "for (int dx = -1; dx <= 1; dx++) {" in text
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(Exception):
+            generate(object())  # type: ignore[arg-type]

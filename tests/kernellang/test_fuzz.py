@@ -12,7 +12,6 @@ exception.
 import signal
 from contextlib import contextmanager
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernellang.errors import KernelLangError

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kernellang import ParseError, ast, parse_kernel, parse_program
-from repro.kernellang.types import ArrayType, PointerType, ScalarType
+from repro.kernellang.types import PointerType, ScalarType
 
 
 pytestmark = pytest.mark.slow

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ApproximationConfig, ROWS1_NN, ROWS2_NN
+from repro.core import ROWS1_NN, ROWS2_NN
 from repro.core.errors import ConfigurationError
 from repro.serve import MicroBatchScheduler, ServeRequest, TraceSpec, generate_trace
 
