@@ -1,0 +1,54 @@
+"""Benchmark: autotuner evaluations-to-reach-the-reference-Pareto-front.
+
+Runs the exhaustive grid sweep over the full autotuning search space on
+gaussian (the reference procedure, generalising the paper's Section
+6.3/6.4 parameter study) and the successive-halving multi-fidelity
+strategy, and records how many *full-fidelity* evaluations each spent.
+
+Acceptance bar: successive-halving must reproduce the exhaustive sweep's
+Pareto front (same configurations) using at most 40% of the exhaustive
+full-fidelity evaluations — recorded as the ratio
+``exhaustive / successive-halving`` with a required floor of 2.5x.  The
+machine-readable record feeds ``check_regression.py``, so a silent
+efficiency regression (the strategy needing more evaluations to reach the
+front) fails the build.
+"""
+
+from __future__ import annotations
+
+from bench_utils import run_once
+
+from repro.experiments.autotune_bench import REQUIRED_EVAL_RATIO, render, run
+
+#: Workers are pinned so the recorded evaluation counts are obviously
+#: machine-independent (they are in any case: parallel == serial).
+WORKERS = 4
+
+
+def test_gaussian_autotune_evaluations(benchmark, archive, archive_json):
+    def autotune_bench():
+        return run(quick=False, db=False, workers=WORKERS)
+
+    result = run_once(benchmark, autotune_bench)
+
+    archive("autotune_evals", render(result))
+    archive_json(
+        "autotune_evals",
+        {
+            "benchmark": "autotune_evals",
+            "app": result.app_name,
+            "backend": "successive-halving",
+            "baseline_backend": "exhaustive-grid",
+            "image_size": result.size,
+            "exhaustive_full_evaluations": result.exhaustive.full_evaluations,
+            "strategy_full_evaluations": result.tuned.full_evaluations,
+            "strategy_total_evaluations": result.tuned.evaluations,
+            "fronts_match": result.fronts_match,
+            "speedup": result.eval_ratio,
+            "required_speedup": REQUIRED_EVAL_RATIO,
+        },
+    )
+
+    # The strategy must find the *same* front, not merely a cheap one.
+    assert result.fronts_match
+    assert result.eval_ratio >= REQUIRED_EVAL_RATIO

@@ -23,7 +23,11 @@ Juurlink; CGO 2018).  The library contains:
   result caching and parallel sweeps;
 * :mod:`repro.serve` — quality-aware batch serving: micro-batched
   vectorized launches, an online perforation controller, a bounded result
-  cache and serving metrics (``docs/serving.md``).
+  cache and serving metrics (``docs/serving.md``);
+* :mod:`repro.autotune` — adaptive multi-fidelity autotuning: a
+  declarative search space, seeded strategies (grid, random, hill-climb,
+  successive-halving) and a persistent cross-session tuning database
+  (``docs/autotuning.md``).
 """
 
 __version__ = "1.1.0"
@@ -32,6 +36,7 @@ __all__ = [
     "PerforationEngine",
     "api",
     "apps",
+    "autotune",
     "baselines",
     "clsim",
     "core",

@@ -43,6 +43,8 @@ __all__ = [
     "RegistryError",
     "ResultCache",
     "Session",
+    "DiskStore",
+    "StoreStats",
     "default_artifact_cache",
 ]
 
@@ -55,6 +57,8 @@ _LAZY = {
     "CacheStats": ("repro.api.cache", "CacheStats"),
     "ArtifactCache": ("repro.api.artifacts", "ArtifactCache"),
     "ArtifactStats": ("repro.api.artifacts", "ArtifactStats"),
+    "DiskStore": ("repro.api.store", "DiskStore"),
+    "StoreStats": ("repro.api.store", "StoreStats"),
     "default_artifact_cache": ("repro.api.artifacts", "default_cache"),
 }
 

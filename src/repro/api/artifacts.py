@@ -9,7 +9,7 @@ lowering step entirely:
 * the default location is ``~/.cache/repro-codegen``; the
   ``REPRO_CODEGEN_CACHE`` environment variable overrides it, and the values
   ``0`` / ``off`` / ``none`` / ``disabled`` turn persistence off;
-* writes are atomic (temp file + :func:`os.replace`), so a crashed or
+* writes are atomic (temp file + ``os.replace``), so a crashed or
   concurrent process can never leave a torn entry;
 * corrupt or stale entries are *recovered from*, never trusted: a bad
   header here (or a failed ``compile()`` in the consumer) counts as a miss,
@@ -21,14 +21,32 @@ lowering step entirely:
 
 Every filesystem failure degrades to "no cache" — executing a kernel never
 fails because the cache directory is unwritable, full or being raced.
+
+The atomic-write/LRU/corruption-recovery machinery itself is generic and
+lives in :class:`repro.api.store.DiskStore`; this module configures it for
+Python artifact sources (the autotuning database,
+:mod:`repro.autotune.db`, configures the same store for JSON tuning
+records).
 """
 
 from __future__ import annotations
 
 import os
-import tempfile
-from dataclasses import dataclass
-from pathlib import Path
+
+from .store import DISABLED_VALUES, DiskStore, StoreStats, env_store_config
+
+__all__ = [
+    "ARTIFACT_HEADER",
+    "ArtifactCache",
+    "ArtifactStats",
+    "DISABLED_VALUES",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_MAX_ENTRIES",
+    "ENV_CACHE_DIR",
+    "ENV_CACHE_MAX",
+    "default_cache",
+    "env_store_config",
+]
 
 #: Environment variable overriding the cache directory (or disabling it).
 ENV_CACHE_DIR = "REPRO_CODEGEN_CACHE"
@@ -36,36 +54,17 @@ ENV_CACHE_DIR = "REPRO_CODEGEN_CACHE"
 #: Environment variable overriding the eviction bound.
 ENV_CACHE_MAX = "REPRO_CODEGEN_CACHE_MAX"
 
-#: Values of :data:`ENV_CACHE_DIR` that disable on-disk persistence.
-DISABLED_VALUES = frozenset({"0", "off", "none", "disabled"})
-
 DEFAULT_CACHE_DIR = "~/.cache/repro-codegen"
 DEFAULT_MAX_ENTRIES = 512
 
 #: Every artifact starts with this line; anything else is treated as corrupt.
 ARTIFACT_HEADER = "# repro-codegen artifact"
 
-
-@dataclass
-class ArtifactStats:
-    """Hit/miss/eviction counters of one :class:`ArtifactCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    puts: int = 0
-    evictions: int = 0
-    errors: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+#: Backwards-compatible alias: the stats dataclass now lives with the store.
+ArtifactStats = StoreStats
 
 
-class ArtifactCache:
+class ArtifactCache(DiskStore):
     """Content-keyed store of lowered kernel sources under one directory.
 
     Keys are the hex content hashes produced by
@@ -81,134 +80,10 @@ class ArtifactCache:
     ) -> None:
         if root is None:
             root = DEFAULT_CACHE_DIR
-        self.root = Path(root).expanduser()
         if max_entries is None:
             max_entries = DEFAULT_MAX_ENTRIES
-        if max_entries < 1:
-            raise ValueError(f"max_entries must be positive, got {max_entries}")
-        self.max_entries = int(max_entries)
-        self.stats = ArtifactStats()
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _valid_key(key: str) -> bool:
-        return (
-            isinstance(key, str)
-            and 8 <= len(key) <= 128
-            and all(c in "0123456789abcdef" for c in key)
-        )
-
-    def _path(self, key: str) -> Path:
-        return self.root / f"{key}.py"
-
-    # ------------------------------------------------------------------
-    def get(self, key: str) -> str | None:
-        """The cached source for ``key``, or ``None`` on miss/corruption."""
-        if not self._valid_key(key):
-            self.stats.misses += 1
-            return None
-        path = self._path(key)
-        try:
-            source = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except OSError:
-            self.stats.errors += 1
-            self.stats.misses += 1
-            return None
-        if not source.startswith(ARTIFACT_HEADER):
-            # Corrupt (or foreign) entry: drop it and lower fresh.
-            self.invalidate(key)
-            self.stats.misses += 1
-            return None
-        try:
-            os.utime(path)  # refresh LRU position
-        except OSError:
-            pass
-        self.stats.hits += 1
-        return source
-
-    def put(self, key: str, source: str) -> bool:
-        """Store ``source`` under ``key`` atomically; evicts beyond the bound."""
-        if not self._valid_key(key) or not source.startswith(ARTIFACT_HEADER):
-            self.stats.errors += 1
-            return False
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=self.root, prefix=".tmp-", suffix=".py"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(source)
-                os.replace(tmp_name, self._path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            self.stats.errors += 1
-            return False
-        self.stats.puts += 1
-        self._evict()
-        return True
-
-    def invalidate(self, key: str) -> None:
-        """Drop one entry (missing entries are fine)."""
-        if not self._valid_key(key):
-            return
-        try:
-            self._path(key).unlink()
-        except OSError:
-            pass
-
-    def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
-        removed = 0
-        for path in self._entries():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                self.stats.errors += 1
-        return removed
-
-    # ------------------------------------------------------------------
-    def _entries(self) -> list[Path]:
-        try:
-            return [p for p in self.root.glob("*.py") if not p.name.startswith(".")]
-        except OSError:
-            return []
-
-    def __len__(self) -> int:
-        return len(self._entries())
-
-    def _evict(self) -> None:
-        entries = self._entries()
-        if len(entries) <= self.max_entries:
-            return
-
-        def mtime(path: Path) -> float:
-            try:
-                return path.stat().st_mtime
-            except OSError:
-                return 0.0
-
-        entries.sort(key=mtime)
-        for path in entries[: len(entries) - self.max_entries]:
-            try:
-                path.unlink()
-                self.stats.evictions += 1
-            except OSError:
-                self.stats.errors += 1
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"ArtifactCache(root={str(self.root)!r}, entries={len(self)}, "
-            f"max_entries={self.max_entries})"
+        super().__init__(
+            root, max_entries, header=ARTIFACT_HEADER, suffix=".py"
         )
 
 
@@ -225,20 +100,12 @@ def default_cache() -> ArtifactCache | None:
     operators flip ``REPRO_CODEGEN_CACHE`` without restarting); instances
     are shared per (directory, bound) so the stats accumulate.
     """
-    configured = os.environ.get(ENV_CACHE_DIR)
-    if configured is not None and configured.strip().lower() in DISABLED_VALUES:
+    config = env_store_config(
+        ENV_CACHE_DIR, ENV_CACHE_MAX, DEFAULT_CACHE_DIR, DEFAULT_MAX_ENTRIES
+    )
+    if config is None:
         return None
-    # expanduser here too: '~' reaches us literally from systemd/Docker/CI
-    # environments where no shell expanded it.
-    root = os.path.expanduser(configured or DEFAULT_CACHE_DIR)
-    try:
-        max_entries = int(os.environ.get(ENV_CACHE_MAX, DEFAULT_MAX_ENTRIES))
-    except ValueError:
-        max_entries = DEFAULT_MAX_ENTRIES
-    if max_entries < 1:
-        max_entries = DEFAULT_MAX_ENTRIES
-    cache_key = (root, max_entries)
-    cache = _default_caches.get(cache_key)
+    cache = _default_caches.get(config)
     if cache is None:
-        cache = _default_caches[cache_key] = ArtifactCache(root, max_entries)
+        cache = _default_caches[config] = ArtifactCache(*config)
     return cache

@@ -121,6 +121,15 @@ class Session:
         return self
 
     # ------------------------------------------------------------------
+    def default_inputs(self):
+        """The inputs this session evaluates on when none are passed.
+
+        Resolves (and caches) the representative sample input when the
+        caller never supplied any; the autotuner uses this to tune on the
+        exact input calibration would have used.
+        """
+        return self._inputs_or_default(None)
+
     def _inputs_or_default(self, inputs):
         if inputs is not None:
             return inputs
@@ -248,21 +257,30 @@ class Session:
         error_budget: float | None = None,
         calibration_inputs: Sequence | None = None,
         configs: Iterable[ApproximationConfig] | None = None,
+        tuner=None,
     ) -> "Session":
         """Calibrate on representative inputs and select a configuration.
 
         Returns the session itself so the tuned configuration can be used
         fluently: ``engine.session(app="sobel3").autotune(0.01).run(image)``.
+
+        ``tuner`` (a :class:`repro.autotune.Tuner`, or ``True`` for a
+        default one on this engine) switches calibration to the
+        database-backed fast path: the entries are computed through the
+        same engine primitives — bit-identical floats — but persisted in
+        the tuner's :class:`~repro.autotune.db.TuningDB`, so a *second*
+        autotune of the same question performs zero kernel evaluations.
+        Without ``tuner`` the behaviour is unchanged.
         """
         if error_budget is not None:
             self.error_budget = error_budget
         if configs is not None:
             self.configs = list(configs)
-        self.calibrate(calibration_inputs)
+        self.calibrate(calibration_inputs, tuner=tuner)
         return self
 
     def calibrate(
-        self, calibration_inputs: Sequence | None = None
+        self, calibration_inputs: Sequence | None = None, tuner=None
     ) -> list[CalibrationEntry]:
         """Measure error/speedup of every candidate on the calibration inputs.
 
@@ -270,9 +288,16 @@ class Session:
         the speedup is computed once per configuration from the timing
         model (it depends only on the configuration and the input size), so
         calibration entries are deterministic regardless of sweep ordering.
+
+        With ``tuner`` the entries come from the tuning-database-backed
+        fast path (see :meth:`autotune`); a warm database answers without
+        evaluating anything, and a cold one produces bit-identical entries
+        to this method's in-process path.
         """
         if self.error_budget is None or self.error_budget <= 0:
             raise TuningError("error budget must be positive")
+        if tuner is not None:
+            return self._calibrate_with_tuner(calibration_inputs, tuner)
         if calibration_inputs is None:
             calibration_inputs = [self._inputs_or_default(None)]
         if len(calibration_inputs) == 0:
@@ -285,19 +310,24 @@ class Session:
             configs = default_configurations(self.app.halo)
             self.configs = list(configs)  # expose what calibration explored
 
-        per_config_errors: dict[str, list[float]] = {c.label: [] for c in configs}
-        by_label = {c.label: c for c in configs}
+        # Bucket by the full configuration identity, not the figure label:
+        # configurations differing only in work group (or scheme
+        # parameters) share a label but calibrate independently.  The
+        # tuner fast path (repro.autotune) buckets identically, which is
+        # what keeps the two paths bit-identical.
+        per_config_errors: dict[str, list[float]] = {c.key: [] for c in configs}
+        by_key = {c.key: c for c in configs}
         for inputs in calibration_inputs:
             sweep = self.engine.sweep(self.app, inputs, configs)
             for point in sweep.points:
-                per_config_errors[point.config.label].append(point.error)
+                per_config_errors[point.config.key].append(point.error)
 
         global_size = self.app.global_size(calibration_inputs[0])
         baseline_time = self.engine.baseline_timing(self.app, global_size).total_time_s
 
         self.calibration = []
-        for label, errors in per_config_errors.items():
-            config = by_label[label]
+        for key, errors in per_config_errors.items():
+            config = by_key[key]
             approx_time = self.engine.timing(self.app, config, global_size).total_time_s
             self.calibration.append(
                 CalibrationEntry(
@@ -308,6 +338,34 @@ class Session:
                 )
             )
         self.calibration.sort(key=lambda e: e.speedup, reverse=True)
+        self.selected = self.select()
+        return self.calibration
+
+    def _calibrate_with_tuner(
+        self, calibration_inputs: Sequence | None, tuner
+    ) -> list[CalibrationEntry]:
+        """Database-backed calibration via :meth:`repro.autotune.Tuner
+        .calibration_entries` (bit-identical to the in-process path)."""
+        if tuner is True:
+            from ..autotune import Tuner
+
+            tuner = Tuner(engine=self.engine)
+        if tuner.engine is not self.engine:
+            raise TuningError(
+                "the tuner must share this session's engine (device, caches "
+                "and timing model define the calibration results)"
+            )
+        if calibration_inputs is None:
+            calibration_inputs = [self._inputs_or_default(None)]
+        if len(calibration_inputs) == 0:
+            raise TuningError("calibration requires at least one input")
+        if self.configs is None:
+            from ..core.config import default_configurations
+
+            self.configs = default_configurations(self.app.halo)
+        self.calibration = tuner.calibration_entries(
+            self.app, list(calibration_inputs), self.configs
+        )
         self.selected = self.select()
         return self.calibration
 
@@ -365,7 +423,7 @@ class Session:
         more_accurate = [
             entry
             for entry in sorted(self.calibration, key=lambda e: e.mean_error)
-            if entry.config.label != config.label
+            if entry.config != config
         ]
         for entry in more_accurate:
             if entry.mean_error < self._calibrated_error(config):
@@ -375,7 +433,7 @@ class Session:
 
     def _calibrated_error(self, config: ApproximationConfig) -> float:
         for entry in self.calibration:
-            if entry.config.label == config.label:
+            if entry.config == config:
                 return entry.mean_error
         return float("inf")
 

@@ -1,0 +1,71 @@
+"""``repro.autotune`` — adaptive multi-fidelity autotuning.
+
+The paper finds good perforation configurations by exhaustively sweeping
+schemes x reconstruction x work-group sizes and keeping the Pareto front
+(Sections 6.3–6.4).  This package turns that into a first-class subsystem:
+
+* :mod:`repro.autotune.space` — a declarative search-space model over the
+  full scheme x perforation-rate x reconstruction x work-group product,
+  strictly larger than the paper's hand-picked ladder;
+* :mod:`repro.autotune.strategies` — pluggable seeded strategies (grid,
+  random, local hill-climb, successive-halving with multi-fidelity
+  screening on downscaled inputs), all driving evaluations through the
+  :class:`~repro.api.engine.PerforationEngine` worker pool and caches;
+* :mod:`repro.autotune.db` — a persistent cross-session tuning database
+  keyed by (app, device, backend, input signature, space version);
+* :mod:`repro.autotune.tuner` — the :class:`Tuner` facade producing
+  incremental Pareto fronts and budget-indexed ladders.
+
+.. code-block:: python
+
+    from repro.api import PerforationEngine
+    from repro.autotune import Tuner
+
+    engine = PerforationEngine(workers="auto")
+    tuner = Tuner(engine, strategy="successive-halving", db="~/.cache/repro-tuning")
+    result = tuner.tune("gaussian", image)
+    front = result.front()                       # Pareto-optimal configs
+    config = result.best_for_budget(0.01)        # fastest within 1% error
+
+    # DB-backed session calibration (zero evaluations when warm):
+    session = engine.session("gaussian").autotune(0.01, tuner=tuner)
+
+See ``docs/autotuning.md`` for the full guide.
+"""
+
+from __future__ import annotations
+
+from .db import TuningDB, default_db, input_signature, resolve_db
+from .space import SearchSpace, default_space
+from .strategies import (
+    GridStrategy,
+    HillClimbStrategy,
+    Observation,
+    RandomStrategy,
+    Strategy,
+    SuccessiveHalvingStrategy,
+    TuningTask,
+    available_strategies,
+    resolve_strategy,
+)
+from .tuner import Tuner, TuningResult
+
+__all__ = [
+    "GridStrategy",
+    "HillClimbStrategy",
+    "Observation",
+    "RandomStrategy",
+    "SearchSpace",
+    "Strategy",
+    "SuccessiveHalvingStrategy",
+    "Tuner",
+    "TuningDB",
+    "TuningResult",
+    "TuningTask",
+    "available_strategies",
+    "default_db",
+    "default_space",
+    "input_signature",
+    "resolve_db",
+    "resolve_strategy",
+]

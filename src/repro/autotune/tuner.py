@@ -1,0 +1,394 @@
+"""The :class:`Tuner` facade.
+
+Ties the subsystem together: resolve the search space, run a seeded
+strategy over a :class:`~repro.autotune.strategies.TuningTask`, persist
+the outcome in the :class:`~repro.autotune.db.TuningDB`, and answer the
+questions callers actually ask — the Pareto front, how it grew while the
+search ran, and budget-indexed configuration ladders.
+
+Two entry points:
+
+* :meth:`Tuner.tune` — full search over the space; returns a
+  :class:`TuningResult`.
+* :meth:`Tuner.calibration_entries` — the
+  :meth:`Session.calibrate <repro.api.session.Session.calibrate>` fast
+  path: the same per-configuration error/speedup statistics, computed
+  through the same engine primitives (so the floats are bit-identical to
+  an in-process calibration) but persisted in the database — a warm
+  database answers with **zero** evaluations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.config import ApproximationConfig
+from ..core.errors import TuningError
+from ..core.pareto import pareto_front
+from .db import TuningDB, input_signature, resolve_db, tuning_key
+from .space import (
+    SearchSpace,
+    config_from_dict,
+    config_key,
+    config_to_dict,
+    default_space,
+)
+from .strategies import Observation, Strategy, TuningTask, resolve_strategy
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run (fresh or replayed from the database)."""
+
+    app_name: str
+    strategy: dict
+    seed: int
+    space_signature: str
+    observations: list[Observation] = field(default_factory=list)
+    from_db: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def evaluations(self) -> int:
+        return len(self.observations)
+
+    @property
+    def full_evaluations(self) -> int:
+        return sum(1 for o in self.observations if o.is_full_fidelity)
+
+    def full_observations(self) -> list[Observation]:
+        return [o for o in self.observations if o.is_full_fidelity]
+
+    # ------------------------------------------------------------------
+    def front(self) -> list[Observation]:
+        """Pareto front of the full-fidelity observations."""
+        return pareto_front(self.full_observations())
+
+    def incremental_fronts(self) -> Iterator[tuple[int, list[Observation]]]:
+        """The front after each full-fidelity evaluation, in search order.
+
+        Yields ``(full_evaluations_spent, front)`` pairs — the trajectory a
+        caller would have seen had it polled the tuner while it ran.
+        """
+        prefix: list[Observation] = []
+        for observation in self.observations:
+            if not observation.is_full_fidelity:
+                continue
+            prefix.append(observation)
+            yield len(prefix), pareto_front(prefix)
+
+    def evaluations_to_front(self, reference: Sequence[Observation]) -> int | None:
+        """Full-fidelity evaluations spent until the front first matched
+        ``reference`` (same configurations), or ``None`` if it never did."""
+        target = {config_key(o.config) for o in reference}
+        for spent, front in self.incremental_fronts():
+            if {config_key(o.config) for o in front} == target:
+                return spent
+        return None
+
+    # ------------------------------------------------------------------
+    def ladder(self):
+        """Calibration-style ladder of the full-fidelity observations.
+
+        Entries sorted fastest-first, one per configuration — directly
+        consumable by :meth:`Session.select
+        <repro.api.session.Session.select>` and the serve controller.
+        """
+        from ..api.session import CalibrationEntry
+
+        entries = [
+            CalibrationEntry(
+                config=o.config,
+                mean_error=o.error,
+                max_error=o.error,
+                speedup=o.speedup,
+            )
+            for o in self.full_observations()
+        ]
+        entries.sort(key=lambda e: e.speedup, reverse=True)
+        return entries
+
+    def best_for_budget(
+        self, budget: float, safety_margin: float = 0.25
+    ) -> ApproximationConfig | None:
+        """Fastest tuned configuration expected to meet ``budget``."""
+        if budget <= 0:
+            raise TuningError(f"error budget must be positive, got {budget}")
+        for entry in self.ladder():
+            if entry.admissible(budget, safety_margin):
+                return entry.config
+        return None
+
+    def budget_ladder(
+        self, budgets: Iterable[float], safety_margin: float = 0.25
+    ) -> dict[float, ApproximationConfig | None]:
+        """Budget-indexed ladder: the selected configuration per error budget."""
+        return {
+            budget: self.best_for_budget(budget, safety_margin)
+            for budget in budgets
+        }
+
+    # ------------------------------------------------------------------
+    def to_record(self) -> dict:
+        return {
+            "kind": "tune",
+            "app": self.app_name,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "space_signature": self.space_signature,
+            "observations": [
+                {
+                    "config": config_to_dict(o.config),
+                    "fidelity": o.fidelity,
+                    "error": o.error,
+                    "speedup": o.speedup,
+                    "runtime_s": o.runtime_s,
+                }
+                for o in self.observations
+            ],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TuningResult":
+        return cls(
+            app_name=record["app"],
+            strategy=record["strategy"],
+            seed=int(record["seed"]),
+            space_signature=record["space_signature"],
+            observations=[
+                Observation(
+                    config=config_from_dict(o["config"]),
+                    fidelity=float(o["fidelity"]),
+                    error=o["error"],
+                    speedup=o["speedup"],
+                    runtime_s=o["runtime_s"],
+                )
+                for o in record["observations"]
+            ],
+            from_db=True,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary of the front."""
+        lines = [
+            f"Tuning result for {self.app_name!r} "
+            f"({self.strategy.get('name', '?')}, seed {self.seed}): "
+            f"{self.evaluations} evaluations "
+            f"({self.full_evaluations} full-fidelity)"
+            + (" [from tuning DB]" if self.from_db else "")
+        ]
+        lines.extend(f"  {o.describe()}" for o in self.front())
+        return "\n".join(lines)
+
+
+class Tuner:
+    """Adaptive multi-fidelity autotuner over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.api.engine.PerforationEngine` evaluations run
+        on (``None`` builds a fresh serial engine).  Worker parallelism,
+        memoization and the device/timing model all come from here.
+    space:
+        The :class:`SearchSpace` to explore (default:
+        :func:`default_space`).
+    strategy:
+        Default strategy — an instance or registered name (``"grid"``,
+        ``"random"``, ``"hill-climb"``, ``"successive-halving"``).
+    seed:
+        Default seed for the strategy's random decisions.
+    db:
+        Tuning database: ``None`` uses the environment default
+        (``REPRO_TUNING_DB``), ``False``/``"off"`` disables persistence, a
+        path opens a database there, a :class:`TuningDB` is used as-is.
+    max_evals:
+        Default evaluation budget (all fidelities), ``None`` = unlimited.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        space: SearchSpace | None = None,
+        strategy: Strategy | str | None = None,
+        seed: int = 0,
+        db: TuningDB | str | bool | None = None,
+        max_evals: int | None = None,
+    ) -> None:
+        if engine is None:
+            from ..api.engine import PerforationEngine
+
+            engine = PerforationEngine()
+        self.engine = engine
+        self.space = space if space is not None else default_space()
+        self.strategy = resolve_strategy(strategy)
+        self.seed = seed
+        self.db = resolve_db(db)
+        self.max_evals = max_evals
+
+    # ------------------------------------------------------------------
+    def _device_signature(self) -> str:
+        import hashlib
+
+        return hashlib.sha256(repr(self.engine.device).encode()).hexdigest()
+
+    def _default_inputs(self, app):
+        return self.engine.session(app=app).default_inputs()
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        app,
+        inputs=None,
+        strategy: Strategy | str | None = None,
+        seed: int | None = None,
+        max_evals: int | None = None,
+        space: SearchSpace | None = None,
+    ) -> TuningResult:
+        """Search the space for ``app`` on ``inputs`` (database-backed).
+
+        A database hit replays the recorded result without a single
+        evaluation; a miss runs the strategy and persists the outcome.
+        """
+        app = self.engine.resolve_app(app)
+        if inputs is None:
+            inputs = self._default_inputs(app)
+        strategy = resolve_strategy(strategy) if strategy is not None else self.strategy
+        seed = self.seed if seed is None else seed
+        max_evals = self.max_evals if max_evals is None else max_evals
+        space = space if space is not None else self.space
+
+        key = tuning_key(
+            kind="tune",
+            app=app.name,
+            device=self._device_signature(),
+            backend=self.engine.backend.name,
+            input=input_signature(inputs),
+            space=space.signature(),
+            strategy=strategy.describe(),
+            seed=seed,
+            max_evals=max_evals,
+        )
+        if self.db is not None:
+            record = self.db.get(key)
+            if record is not None:
+                return TuningResult.from_record(record)
+
+        task = TuningTask(self.engine, app, inputs, space, max_evals=max_evals)
+        strategy.tune(task, random.Random(seed))
+        result = TuningResult(
+            app_name=app.name,
+            strategy=strategy.describe(),
+            seed=seed,
+            space_signature=space.signature(),
+            observations=task.observations,
+        )
+        if self.db is not None:
+            self.db.put(key, result.to_record())
+        return result
+
+    # ------------------------------------------------------------------
+    def calibration_entries(
+        self,
+        app,
+        calibration_inputs: Sequence | None = None,
+        configs: Iterable[ApproximationConfig] | None = None,
+    ):
+        """Database-backed equivalent of :meth:`Session.calibrate
+        <repro.api.session.Session.calibrate>`.
+
+        Returns the calibrated entries sorted fastest-first, computed with
+        exactly the same engine primitives and aggregation as an in-process
+        calibration — a cold database produces bit-identical floats, a warm
+        one returns them without any evaluation at all.
+        """
+        from ..api.session import CalibrationEntry
+
+        app = self.engine.resolve_app(app)
+        if calibration_inputs is None:
+            calibration_inputs = [self._default_inputs(app)]
+        calibration_inputs = list(calibration_inputs)
+        if not calibration_inputs:
+            raise TuningError("calibration requires at least one input")
+        if configs is None:
+            from ..core.config import default_configurations
+
+            configs = default_configurations(app.halo)
+        configs = list(configs)
+
+        key = tuning_key(
+            kind="calibration",
+            app=app.name,
+            device=self._device_signature(),
+            backend=self.engine.backend.name,
+            inputs=[input_signature(i) for i in calibration_inputs],
+            configs=[config_to_dict(c) for c in configs],
+        )
+        if self.db is not None:
+            record = self.db.get(key)
+            if record is not None:
+                return [
+                    CalibrationEntry(
+                        config=config_from_dict(entry["config"]),
+                        mean_error=entry["mean_error"],
+                        max_error=entry["max_error"],
+                        speedup=entry["speedup"],
+                    )
+                    for entry in record["entries"]
+                ]
+
+        # Mirror Session.calibrate exactly: per-config error statistics
+        # aggregated over the calibration inputs, speedup from the timing
+        # model at the first input's size, sorted fastest-first.
+        per_config_errors: dict[str, list[float]] = {config_key(c): [] for c in configs}
+        by_key = {config_key(c): c for c in configs}
+        for inputs in calibration_inputs:
+            sweep = self.engine.sweep(app, inputs, configs)
+            for point in sweep.points:
+                per_config_errors[config_key(point.config)].append(point.error)
+
+        global_size = app.global_size(calibration_inputs[0])
+        baseline_time = self.engine.baseline_timing(app, global_size).total_time_s
+
+        entries = []
+        for key_str, errors in per_config_errors.items():
+            config = by_key[key_str]
+            approx_time = self.engine.timing(app, config, global_size).total_time_s
+            entries.append(
+                CalibrationEntry(
+                    config=config,
+                    mean_error=float(np.mean(errors)),
+                    max_error=float(np.max(errors)),
+                    speedup=baseline_time / approx_time,
+                )
+            )
+        entries.sort(key=lambda e: e.speedup, reverse=True)
+
+        if self.db is not None:
+            self.db.put(
+                key,
+                {
+                    "kind": "calibration",
+                    "app": app.name,
+                    "entries": [
+                        {
+                            "config": config_to_dict(e.config),
+                            "mean_error": e.mean_error,
+                            "max_error": e.max_error,
+                            "speedup": e.speedup,
+                        }
+                        for e in entries
+                    ],
+                },
+            )
+        return entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Tuner strategy={self.strategy.describe()} seed={self.seed} "
+            f"db={'on' if self.db is not None else 'off'} on {self.engine!r}>"
+        )

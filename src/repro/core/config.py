@@ -81,6 +81,19 @@ class ApproximationConfig:
             return f"{scheme}:NN"
         return f"{scheme}:{TECHNIQUE_LABELS[self.reconstruction]}"
 
+    @property
+    def key(self) -> str:
+        """Deterministic *identity* string of this configuration.
+
+        Unlike :attr:`label` (a figure caption that collapses work-group
+        shapes, reconstruction-invariant schemes and scheme parameters)
+        this distinguishes every distinct configuration: the scheme repr
+        carries all scheme parameters (step, fraction, seed, ...).  Used
+        wherever configurations key dictionaries — calibration buckets,
+        tuner memoization, search-space dedup."""
+        wx, wy = self.work_group
+        return f"{self.scheme!r}|{self.reconstruction}@{wx}x{wy}"
+
     def with_work_group(self, work_group: tuple[int, int]) -> "ApproximationConfig":
         """Copy of this configuration with a different work-group shape."""
         return replace(self, work_group=work_group)

@@ -49,26 +49,39 @@ def pareto_front(
     The result is sorted by increasing speedup (and therefore, along the
     front, by increasing error), which matches how the paper draws the
     dashed front in Figure 10.
+
+    Tie handling is deterministic and exact:
+
+    * points that tie on one objective but differ on the other are ordinary
+      dominance cases — the worse point is dropped;
+    * points with *bit-identical* ``(speedup, error)`` pairs do not
+      dominate each other; the front keeps exactly one witness per
+      duplicated pair — the occurrence that comes **first in the input
+      sequence** — no matter how many duplicates follow or where they sit.
+      (Near-ties that differ in the last few bits are distinct points and
+      are all kept when mutually non-dominating; no rounding is applied.)
+
+    Consequently a front never contains two entries with the same
+    ``(speedup, error)`` pair, and reordering the input can only permute
+    which *equal-valued* witness is returned, never change the front's
+    value set or size.
     """
-    front: list[T] = []
+    front: list[tuple[tuple[float, float], T]] = []
+    seen: set[tuple[float, float]] = set()
     for candidate in points:
+        key = (speedup_of(candidate), error_of(candidate))
+        if key in seen:
+            continue  # duplicate pair: the first occurrence is the witness
         if any(
             dominates(other, candidate, error_of, speedup_of)
             for other in points
             if other is not candidate
         ):
             continue
-        front.append(candidate)
-    # Deduplicate identical (speedup, error) pairs while preserving one witness.
-    seen: set[tuple[float, float]] = set()
-    unique: list[T] = []
-    for point in sorted(front, key=lambda p: (speedup_of(p), error_of(p))):
-        key = (round(speedup_of(point), 12), round(error_of(point), 12))
-        if key in seen:
-            continue
         seen.add(key)
-        unique.append(point)
-    return unique
+        front.append((key, candidate))
+    front.sort(key=lambda entry: entry[0])
+    return [candidate for _, candidate in front]
 
 
 def is_pareto_optimal(

@@ -46,9 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=available_experiments() + ["all", "serve-bench"],
+        choices=available_experiments() + ["all", "serve-bench", "autotune"],
         help="which experiment to run ('serve-bench' exercises the "
-        "repro.serve batch-serving subsystem)",
+        "repro.serve batch-serving subsystem, 'autotune' the "
+        "repro.autotune search strategies)",
     )
     parser.add_argument(
         "--quick",
@@ -91,6 +92,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-batch", type=int, default=8, help="micro-batch cap (serve-bench)"
     )
+    autotune = parser.add_argument_group("autotune options")
+    autotune.add_argument(
+        "--app", default="gaussian", help="application to tune (autotune)"
+    )
+    autotune.add_argument(
+        "--strategy",
+        default="successive-halving",
+        help="search strategy: grid, random, hill-climb, successive-halving "
+        "(autotune)",
+    )
+    autotune.add_argument(
+        "--evals",
+        type=int,
+        default=None,
+        help="evaluation budget across all fidelities (autotune; default unlimited)",
+    )
+    autotune.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="error budget whose selected configuration is reported (autotune)",
+    )
+    autotune.add_argument(
+        "--db",
+        default="off",
+        help="tuning database: a directory path, 'default' for the "
+        "REPRO_TUNING_DB environment default, or 'off' (autotune; default off "
+        "so evaluation counts are honest)",
+    )
     return parser
 
 
@@ -117,11 +147,49 @@ def _run_serve_bench(args, parser: argparse.ArgumentParser) -> int:
     return 0 if result.passed else 1
 
 
+def _run_autotune(args, parser: argparse.ArgumentParser) -> int:
+    from .autotune_bench import render, run, write_report
+
+    if args.backend is not None:
+        parser.error(
+            "autotune evaluates configurations on the NumPy fast path; "
+            "--backend does not apply"
+        )
+    db: object = args.db
+    if isinstance(db, str):
+        lowered = db.strip().lower()
+        if lowered in {"", "off", "0", "none", "disabled"}:
+            db = False
+        elif lowered == "default":
+            db = None  # resolve from REPRO_TUNING_DB / the default directory
+    result = run(
+        quick=args.quick,
+        app=args.app,
+        size=args.size,
+        strategy=args.strategy,
+        seed=args.seed if args.seed is not None else 0,
+        evals=args.evals,
+        db=db,
+        device=args.device,
+        workers=args.workers,
+    )
+    if args.budget is not None:
+        config = result.tuned.best_for_budget(args.budget)
+        label = config.describe() if config is not None else "accurate (nothing admissible)"
+        print(f"selected for budget {args.budget:.2%}: {label}\n")
+    path = write_report(result, args.output)
+    print(render(result))
+    print(f"\nreport written to {path}")
+    return 0 if result.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "serve-bench":
         return _run_serve_bench(args, parser)
+    if args.experiment == "autotune":
+        return _run_autotune(args, parser)
     engine = make_engine(device=args.device, workers=args.workers, backend=args.backend)
     if args.experiment == "all":
         if args.output:

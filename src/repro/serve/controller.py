@@ -98,6 +98,14 @@ class OnlineController:
         Optional mapping of application name to the representative inputs
         calibration should sweep; applications without an entry calibrate
         on the session's default sample input.
+    tuner:
+        Optional :class:`repro.autotune.Tuner` sharing this controller's
+        engine.  When given, ladders are seeded from the tuner's
+        persistent :class:`~repro.autotune.db.TuningDB` instead of
+        per-process calibration: a warm database restores the ladder with
+        zero kernel evaluations, and the entries are bit-identical to an
+        in-process calibration either way (pinned by
+        ``tests/serve/test_controller.py``).
     """
 
     def __init__(
@@ -105,10 +113,12 @@ class OnlineController:
         engine,
         policy: ControllerPolicy | None = None,
         calibration_inputs: Mapping[str, Sequence] | None = None,
+        tuner=None,
     ) -> None:
         self.engine = engine
         self.policy = policy or ControllerPolicy()
         self.calibration_inputs = dict(calibration_inputs or {})
+        self.tuner = tuner
         self._ladders: dict[str, list[LadderEntry]] = {}
         self._streams: dict[tuple[str, float], _StreamState] = {}
 
@@ -120,6 +130,8 @@ class OnlineController:
 
         The final rung is always the accurate configuration, so tightening
         terminates at a configuration that cannot violate any budget.
+        With a :attr:`tuner`, the entries come from the tuning database
+        (seeded on first use, replayed bit-identically afterwards).
         """
         cached = self._ladders.get(app_name)
         if cached is not None:
@@ -129,7 +141,9 @@ class OnlineController:
             error_budget=1.0,  # selection is ours; calibrate() just needs a budget
             safety_margin=self.policy.safety_margin,
         )
-        entries = session.calibrate(self.calibration_inputs.get(app_name))
+        entries = session.calibrate(
+            self.calibration_inputs.get(app_name), tuner=self.tuner
+        )
         ladder = [
             LadderEntry(
                 config=entry.config,

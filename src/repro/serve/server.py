@@ -53,8 +53,10 @@ class PerforationServer:
         additionally executes micro-batches as single stacked launches.
     max_batch / max_delay_ms:
         Micro-batching knobs (see :class:`MicroBatchScheduler`).
-    policy / calibration_inputs:
-        Controller knobs (see :class:`OnlineController`).
+    policy / calibration_inputs / tuner:
+        Controller knobs (see :class:`OnlineController`); ``tuner`` seeds
+        the controller's ladders from a persistent tuning database, so a
+        server restart skips per-process calibration entirely.
     cache_capacity:
         LRU capacity of the result cache; ``0`` disables caching.
     monitor:
@@ -75,6 +77,7 @@ class PerforationServer:
         max_delay_ms: float = 50.0,
         policy: ControllerPolicy | None = None,
         calibration_inputs: Mapping[str, Sequence] | None = None,
+        tuner=None,
         cache_capacity: int = 256,
         monitor: bool = True,
         strict: bool = True,
@@ -83,7 +86,7 @@ class PerforationServer:
         self.engine = engine if engine is not None else PerforationEngine(backend=self.backend)
         self.scheduler = MicroBatchScheduler(max_batch=max_batch, max_delay_ms=max_delay_ms)
         self.controller = OnlineController(
-            self.engine, policy=policy, calibration_inputs=calibration_inputs
+            self.engine, policy=policy, calibration_inputs=calibration_inputs, tuner=tuner
         )
         self.cache = ServeResultCache(cache_capacity) if cache_capacity else None
         self.metrics = ServeMetrics()

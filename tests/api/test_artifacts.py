@@ -200,3 +200,53 @@ class TestBackendIntegration:
             accurate.source + " ", "gaussian", (8, 8), False
         )
         assert key == codegen.artifact_key(accurate.source, "gaussian", (8, 8), False)
+
+
+class TestGenericStore:
+    """The artifact cache is one consumer of the generic DiskStore; the
+    tuning database is the other.  Pin the shared machinery's contract."""
+
+    def test_artifact_cache_is_a_disk_store(self, cache):
+        from repro.api.store import DiskStore, StoreStats
+
+        assert isinstance(cache, DiskStore)
+        # stats() counters are part of the generic store surface...
+        assert isinstance(cache.stats(), StoreStats)
+        # ...and the legacy attribute view stays bit-compatible.
+        assert cache.stats() is cache.stats
+
+    def test_stats_counters_cover_hit_miss_put_eviction(self, cache):
+        import os
+
+        assert cache.get(_key(1)) is None
+        cache.put(_key(1), _source(1))
+        cache.get(_key(1))
+        for n in range(2, 8):
+            cache.put(_key(n), _source(n))
+            os.utime(cache._path(_key(n)), (n, n))
+        stats = cache.stats()
+        assert stats.misses >= 1 and stats.hits >= 1
+        assert stats.puts == 7
+        assert stats.evictions >= 3  # bound is 4
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_suffixes_namespace_stores_sharing_a_directory(self, tmp_path):
+        from repro.api.store import DiskStore
+
+        py_store = DiskStore(tmp_path, header="# a", suffix=".py")
+        json_store = DiskStore(tmp_path, header="# b", suffix=".json")
+        py_store.put(_key(1), "# a\nx = 1\n")
+        json_store.put(_key(1), "# b\n{}\n")
+        assert py_store.get(_key(1)) == "# a\nx = 1\n"
+        assert json_store.get(_key(1)) == "# b\n{}\n"
+        assert len(py_store) == 1 and len(json_store) == 1
+
+    def test_store_validates_construction(self, tmp_path):
+        from repro.api.store import DiskStore
+
+        with pytest.raises(ValueError):
+            DiskStore(tmp_path, max_entries=0, header="# h")
+        with pytest.raises(ValueError):
+            DiskStore(tmp_path, header="")
+        with pytest.raises(ValueError):
+            DiskStore(tmp_path, header="# h", suffix="json")

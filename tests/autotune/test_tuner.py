@@ -1,0 +1,197 @@
+"""Tuner facade: fronts, ladders, database persistence, session fast path.
+
+Pins two acceptance criteria of the subsystem:
+
+* a warm TuningDB makes a second tune / ``Session.autotune`` perform
+  **zero** kernel evaluations (the application's ``approximate`` and
+  ``reference`` are never called);
+* database-backed calibration entries are bit-identical to in-process
+  :meth:`Session.calibrate` results.
+"""
+
+import pytest
+
+from repro.api import PerforationEngine
+from repro.autotune import Tuner, TuningDB, TuningResult, default_space
+from repro.autotune.space import config_key
+from repro.core.errors import TuningError
+from repro.data import generate_image
+
+SIZE = 64
+
+
+@pytest.fixture(scope="module")
+def image():
+    return generate_image("natural", size=SIZE, seed=7)
+
+
+def _forbid_evaluation(monkeypatch, engine, app_name="gaussian"):
+    """Make any kernel evaluation on ``engine``'s app an error."""
+    app_type = type(engine.resolve_app(app_name))
+
+    def boom(*args, **kwargs):  # pragma: no cover - the point is it never runs
+        raise AssertionError("kernel evaluation must not happen on the warm path")
+
+    monkeypatch.setattr(app_type, "approximate", boom)
+    monkeypatch.setattr(app_type, "reference", boom)
+
+
+def _observation_tuples(result: TuningResult):
+    return [(o.key, o.fidelity, o.error, o.speedup, o.runtime_s) for o in result.observations]
+
+
+class TestTune:
+    def test_front_and_budget_ladder(self, image):
+        tuner = Tuner(PerforationEngine(), db=False)
+        result = tuner.tune("gaussian", image, strategy="grid")
+        front = result.front()
+        assert front
+        speedups = [o.speedup for o in front]
+        assert speedups == sorted(speedups)
+        # Budget-indexed ladder: looser budgets never select slower configs.
+        ladder = result.budget_ladder((0.01, 0.05, 0.10))
+        chosen = [ladder[b] for b in (0.01, 0.05, 0.10)]
+        by_key = {o.key: o for o in result.full_observations()}
+        last = 0.0
+        for config in chosen:
+            if config is None:
+                continue
+            speedup = by_key[config_key(config)].speedup
+            assert speedup >= last
+            last = speedup
+
+    def test_incremental_fronts_grow_monotonically_in_evals(self, image):
+        tuner = Tuner(PerforationEngine(), db=False)
+        result = tuner.tune("gaussian", image, strategy="grid")
+        trajectory = list(result.incremental_fronts())
+        assert trajectory[0][0] == 1
+        assert trajectory[-1][0] == result.full_evaluations
+        final_front = {(o.key) for o in trajectory[-1][1]}
+        assert final_front == {o.key for o in result.front()}
+        assert result.evaluations_to_front(result.front()) <= result.full_evaluations
+
+    def test_best_for_budget_validates(self, image):
+        tuner = Tuner(PerforationEngine(), db=False)
+        result = tuner.tune("gaussian", image, strategy="grid", max_evals=5)
+        with pytest.raises(TuningError):
+            result.best_for_budget(0.0)
+
+    def test_max_evals_budget_is_respected(self, image):
+        tuner = Tuner(PerforationEngine(), db=False)
+        result = tuner.tune("gaussian", image, max_evals=10)
+        assert result.evaluations <= 10
+
+
+class TestDatabase:
+    def test_cold_then_warm_round_trip_is_bit_identical(self, tmp_path, image):
+        db = TuningDB(tmp_path / "db")
+        tuner = Tuner(PerforationEngine(), db=db)
+        cold = tuner.tune("gaussian", image)
+        warm = tuner.tune("gaussian", image)
+        assert not cold.from_db and warm.from_db
+        assert _observation_tuples(warm) == _observation_tuples(cold)
+        assert [o.key for o in warm.front()] == [o.key for o in cold.front()]
+
+    def test_warm_db_performs_zero_kernel_evaluations(
+        self, tmp_path, image, monkeypatch
+    ):
+        db_path = tmp_path / "db"
+        cold = Tuner(PerforationEngine(), db=TuningDB(db_path)).tune("gaussian", image)
+        # A fresh engine models a fresh process: no memoization carries over.
+        engine = PerforationEngine()
+        _forbid_evaluation(monkeypatch, engine)
+        warm = Tuner(engine, db=TuningDB(db_path)).tune("gaussian", image)
+        assert warm.from_db
+        assert _observation_tuples(warm) == _observation_tuples(cold)
+
+    def test_key_ingredients_miss_instead_of_alias(self, tmp_path, image):
+        db = TuningDB(tmp_path / "db")
+        engine = PerforationEngine()
+        tuner = Tuner(engine, db=db)
+        tuner.tune("gaussian", image)
+        # Different input content, seed, strategy or space -> fresh tune.
+        other_image = generate_image("natural", size=SIZE, seed=8)
+        assert not tuner.tune("gaussian", other_image).from_db
+        assert not tuner.tune("gaussian", image, seed=1).from_db
+        assert not tuner.tune("gaussian", image, strategy="grid").from_db
+        smaller = default_space()
+        smaller = type(smaller)(
+            schemes=smaller.schemes[:2],
+            reconstructions=smaller.reconstructions,
+            work_groups=smaller.work_groups,
+        )
+        assert not tuner.tune("gaussian", image, space=smaller).from_db
+
+
+class TestCalibrationFastPath:
+    def test_entries_bit_identical_to_session_calibrate(self, tmp_path, image):
+        reference = (
+            PerforationEngine()
+            .session("gaussian", error_budget=0.05)
+            .calibrate([image])
+        )
+        engine = PerforationEngine()
+        tuner = Tuner(engine, db=TuningDB(tmp_path / "db"))
+        assert tuner.calibration_entries("gaussian", [image]) == reference
+        # Warm replay: still bit-identical.
+        assert tuner.calibration_entries("gaussian", [image]) == reference
+
+    def test_bit_identity_holds_for_label_colliding_configs(self, tmp_path, image):
+        """Configs differing only in work group share a figure label;
+        both calibration paths must keep them as separate entries."""
+        from repro.core.config import ROWS1_NN
+
+        configs = [ROWS1_NN.with_work_group((8, 8)), ROWS1_NN.with_work_group((32, 8))]
+        plain = PerforationEngine().session("gaussian", error_budget=0.05)
+        reference = plain.with_configs(configs).calibrate([image])
+        assert len(reference) == 2
+        engine = PerforationEngine()
+        tuner = Tuner(engine, db=TuningDB(tmp_path / "db"))
+        assert tuner.calibration_entries("gaussian", [image], configs) == reference
+
+    def test_session_autotune_tuner_path_matches_plain(self, tmp_path, image):
+        plain = PerforationEngine().session("gaussian", error_budget=0.05)
+        plain.autotune(calibration_inputs=[image])
+
+        engine = PerforationEngine()
+        tuner = Tuner(engine, db=TuningDB(tmp_path / "db"))
+        tuned = engine.session("gaussian", error_budget=0.05)
+        tuned.autotune(calibration_inputs=[image], tuner=tuner)
+        assert tuned.calibration == plain.calibration
+        assert tuned.selected == plain.selected
+
+    def test_second_session_autotune_zero_kernel_launches(
+        self, tmp_path, image, monkeypatch
+    ):
+        db_path = tmp_path / "db"
+        first_engine = PerforationEngine()
+        first = first_engine.session("gaussian", error_budget=0.05)
+        first.autotune(
+            calibration_inputs=[image], tuner=Tuner(first_engine, db=TuningDB(db_path))
+        )
+
+        engine = PerforationEngine()
+        _forbid_evaluation(monkeypatch, engine)
+        session = engine.session("gaussian", error_budget=0.05)
+        session.autotune(
+            calibration_inputs=[image], tuner=Tuner(engine, db=TuningDB(db_path))
+        )
+        assert session.calibration == first.calibration
+        assert session.selected == first.selected
+
+    def test_session_tuner_true_builds_default_tuner(self, image, monkeypatch, tmp_path):
+        from repro.autotune import db as db_module
+
+        monkeypatch.setenv(db_module.ENV_DB_DIR, str(tmp_path / "envdb"))
+        engine = PerforationEngine()
+        session = engine.session("gaussian", error_budget=0.05)
+        session.autotune(calibration_inputs=[image], tuner=True)
+        assert session.calibration
+        assert (tmp_path / "envdb").exists()
+
+    def test_tuner_must_share_the_engine(self, image):
+        engine = PerforationEngine()
+        other = PerforationEngine()
+        session = engine.session("gaussian", error_budget=0.05)
+        with pytest.raises(TuningError):
+            session.autotune(calibration_inputs=[image], tuner=Tuner(other, db=False))

@@ -53,6 +53,49 @@ class TestParetoFront:
         points = [Point("a", 2.0, 0.02), Point("a2", 2.0, 0.02)]
         assert len(pareto_front(points)) == 1
 
+    def test_duplicate_witness_is_first_in_input(self):
+        """The documented tie rule: one witness per duplicated pair — the
+        earliest occurrence in the input sequence."""
+        a, b = Point("a", 2.0, 0.02), Point("b", 2.0, 0.02)
+        assert [p.label for p in pareto_front([a, b])] == ["a"]
+        assert [p.label for p in pareto_front([b, a])] == ["b"]
+        # A third copy anywhere in the sequence changes nothing.
+        assert [p.label for p in pareto_front([a, b, Point("c", 2.0, 0.02)])] == ["a"]
+
+    def test_duplicates_never_co_survive_or_co_drop(self):
+        """Non-dominated duplicates yield exactly one front entry in any
+        input order; dominated duplicates all drop."""
+        dup1, dup2 = Point("d1", 2.0, 0.02), Point("d2", 2.0, 0.02)
+        other = Point("o", 1.0, 0.0)
+        for ordering in ([dup1, dup2, other], [dup2, other, dup1], [other, dup1, dup2]):
+            front = pareto_front(ordering)
+            assert sorted({(p.speedup, p.error) for p in front}) == [(1.0, 0.0), (2.0, 0.02)]
+            assert len(front) == 2  # exactly one duplicate witness
+        dominator = Point("x", 3.0, 0.0)
+        front = pareto_front([dup1, dup2, dominator])
+        assert [p.label for p in front] == ["x"]
+
+    def test_front_value_set_is_input_order_invariant(self):
+        points = [
+            Point("a", 2.0, 0.02),
+            Point("a2", 2.0, 0.02),
+            Point("b", 1.0, 0.0),
+            Point("c", 3.0, 0.08),
+            Point("dominated", 0.9, 0.2),
+        ]
+        expected = [(p.speedup, p.error) for p in pareto_front(points)]
+        assert [(p.speedup, p.error) for p in pareto_front(points[::-1])] == expected
+        rotated = points[2:] + points[:2]
+        assert [(p.speedup, p.error) for p in pareto_front(rotated)] == expected
+
+    def test_near_ties_are_not_collapsed(self):
+        """No rounding: points differing only in the last decimals are
+        distinct (and mutually non-dominating when the trade-off holds)."""
+        a = Point("a", 2.0, 0.02)
+        b = Point("b", 2.0 + 1e-13, 0.02 + 1e-15)
+        front = pareto_front([a, b])
+        assert {p.label for p in front} == {"a", "b"}
+
     def test_empty_input(self):
         assert pareto_front([]) == []
 

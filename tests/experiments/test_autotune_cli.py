@@ -1,0 +1,65 @@
+"""The ``python -m repro.experiments autotune`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_autotune_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "autotune",
+                "--strategy",
+                "random",
+                "--evals",
+                "25",
+                "--budget",
+                "0.05",
+                "--db",
+                "off",
+            ]
+        )
+        assert args.experiment == "autotune"
+        assert args.strategy == "random"
+        assert args.evals == 25
+        assert args.budget == 0.05
+        assert args.db == "off"
+
+    def test_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["autotune", "--quick", "--backend", "codegen"])
+
+
+class TestMain:
+    def test_quick_smoke_passes_the_gate(self, tmp_path, capsys):
+        report = tmp_path / "autotune.txt"
+        code = main(
+            ["autotune", "--quick", "--budget", "0.05", "--output", str(report)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fronts match        : yes" in captured.out
+        assert "selected for budget 5.00%" in captured.out
+        assert report.exists()
+        assert "PASSED" in report.read_text(encoding="utf-8")
+
+    def test_db_persistence_round_trip(self, tmp_path, capsys):
+        db = tmp_path / "db"
+        args = [
+            "autotune",
+            "--quick",
+            "--size",
+            "32",
+            "--db",
+            str(db),
+            "--output",
+            str(tmp_path / "r.txt"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "[from tuning DB]" not in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "[from tuning DB]" in second

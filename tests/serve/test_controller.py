@@ -121,3 +121,73 @@ class TestAdaptation:
             ControllerPolicy(loosen_headroom=1.0)
         with pytest.raises(TuningError):
             ControllerPolicy(min_dwell=0)
+
+
+class TestTunerSeededLadders:
+    """Acceptance: controller ladders seeded from the TuningDB are
+    bit-identical to ladders from in-process calibration."""
+
+    @staticmethod
+    def _image():
+        return generate_image("natural", size=32, seed=3)
+
+    def test_db_seeded_ladder_bit_identical_to_calibration(self, tmp_path):
+        from repro.autotune import Tuner, TuningDB
+
+        image = self._image()
+        plain_engine = PerforationEngine()
+        plain = OnlineController(
+            plain_engine, calibration_inputs={"gaussian": [image]}
+        )
+        reference = plain.ladder("gaussian")
+
+        # Cold database, separate engine: same floats, computed via the
+        # tuner path and persisted.
+        db_path = tmp_path / "db"
+        cold_engine = PerforationEngine()
+        cold = OnlineController(
+            cold_engine,
+            calibration_inputs={"gaussian": [image]},
+            tuner=Tuner(cold_engine, db=TuningDB(db_path)),
+        )
+        assert cold.ladder("gaussian") == reference
+
+        # Warm database, third engine: the ladder is restored without any
+        # calibration sweep (Session.calibrate would need an error budget
+        # and an engine sweep; the DB answers first).
+        warm_engine = PerforationEngine(cache=False)
+        warm = OnlineController(
+            warm_engine,
+            calibration_inputs={"gaussian": [image]},
+            tuner=Tuner(warm_engine, db=TuningDB(db_path)),
+        )
+        assert warm.ladder("gaussian") == reference
+
+    def test_warm_ladder_needs_no_kernel_evaluations(self, tmp_path, monkeypatch):
+        from repro.autotune import Tuner, TuningDB
+
+        image = self._image()
+        db_path = tmp_path / "db"
+        seed_engine = PerforationEngine()
+        OnlineController(
+            seed_engine,
+            calibration_inputs={"gaussian": [image]},
+            tuner=Tuner(seed_engine, db=TuningDB(db_path)),
+        ).ladder("gaussian")
+
+        engine = PerforationEngine()
+        app_type = type(engine.resolve_app("gaussian"))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm ladder must not evaluate kernels")
+
+        monkeypatch.setattr(app_type, "approximate", boom)
+        monkeypatch.setattr(app_type, "reference", boom)
+        controller = OnlineController(
+            engine,
+            calibration_inputs={"gaussian": [image]},
+            tuner=Tuner(engine, db=TuningDB(db_path)),
+        )
+        ladder = controller.ladder("gaussian")
+        assert ladder[-1].config.label == "Accurate"
+        assert len(ladder) > 1
