@@ -6,13 +6,17 @@ benchmarks (``benchmarks/results/*.json``, written by ``pytest benchmarks``)
 against the committed baseline (``benchmarks/baseline.json``).  A result
 regresses when its ``speedup`` falls below
 
-    max(required_speedup, baseline_speedup * (1 - tolerance))
+    max(baseline_required, record_required, baseline_speedup * (1 - tolerance))
 
 i.e. the hard acceptance floor always applies, and on top of it the
 recorded baseline may only erode by ``--tolerance`` (default 50% — CI
-machines are noisy, speedup *ratios* less so).  Missing results for a
-baselined benchmark fail too: a benchmark that silently stops running is
-itself a regression.
+machines are noisy, speedup *ratios* less so).  A result record may
+*raise* the bar for its own run by declaring ``required_speedup`` — the
+machine-aware benchmarks (``fleet_scaling``) use this so a many-core CI
+runner is held to the full scaling floor even when the committed baseline
+was recorded on a smaller machine; a record can never lower the
+baseline's floor.  Missing results for a baselined benchmark fail too: a
+benchmark that silently stops running is itself a regression.
 
 Usage:
     python benchmarks/check_regression.py                # gate (CI)
@@ -85,6 +89,9 @@ def check(tolerance: float) -> int:
         speedup = float(record.get("speedup", 0.0))
         floor = max(
             float(expected.get("required_speedup", 1.0)),
+            # A record may declare a stricter machine-appropriate floor for
+            # its own run (never a looser one — max() keeps the baseline's).
+            float(record.get("required_speedup", 0.0)),
             float(expected["speedup"]) * (1.0 - tolerance),
         )
         status = "ok" if speedup >= floor else "REGRESSION"

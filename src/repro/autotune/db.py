@@ -97,13 +97,21 @@ class TuningDB:
         self,
         root: str | os.PathLike | None = None,
         max_entries: int | None = None,
+        *,
+        readonly: bool = False,
     ) -> None:
         self.store = DiskStore(
             root if root is not None else DEFAULT_DB_DIR,
             max_entries if max_entries is not None else DEFAULT_DB_MAX,
             header=DB_HEADER,
             suffix=".json",
+            readonly=readonly,
         )
+
+    @property
+    def readonly(self) -> bool:
+        """Whether this handle may write (fleet workers share one DB read-only)."""
+        return self.store.readonly
 
     @property
     def root(self):

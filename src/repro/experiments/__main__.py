@@ -65,7 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         default="auto",
         type=_workers_arg,
-        help="engine worker-pool size for parallel sweeps (positive integer or 'auto')",
+        help="engine worker-pool size for parallel sweeps (positive integer or "
+        "'auto'); for serve-bench, a value >= 2 instead selects fleet mode: "
+        "that many repro.fleet worker processes vs one in-process server",
     )
     parser.add_argument(
         "--device",
@@ -132,6 +134,8 @@ def _run_serve_bench(args, parser: argparse.ArgumentParser) -> int:
             "serve-bench compares the vectorized and interpreter backends "
             "by design; --backend does not apply"
         )
+    if isinstance(args.workers, int) and args.workers >= 2:
+        return _run_serve_bench_fleet(args)
     result = run(
         quick=args.quick,
         requests=args.requests,
@@ -143,6 +147,26 @@ def _run_serve_bench(args, parser: argparse.ArgumentParser) -> int:
     )
     path = write_report(result, args.output)
     print(render(result))
+    print(f"\nreport written to {path}")
+    return 0 if result.passed else 1
+
+
+def _run_serve_bench_fleet(args) -> int:
+    from .serve_bench import render_fleet, run_fleet, write_fleet_report
+
+    result = run_fleet(
+        quick=args.quick,
+        requests=args.requests,
+        size=args.size,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        device=args.device,
+        workers=args.workers,
+    )
+    # Quick runs are smoke tests: never overwrite the full-size record the
+    # regression gate compares against.
+    path = write_fleet_report(result, args.output, record=not args.quick)
+    print(render_fleet(result))
     print(f"\nreport written to {path}")
     return 0 if result.passed else 1
 

@@ -1,0 +1,518 @@
+"""Asyncio front-end of the serving fleet.
+
+:class:`PerforationFleet` scales the single-process
+:class:`~repro.serve.server.PerforationServer` horizontally: N worker
+processes, each a full warm-started server, behind one asyncio front-end
+that routes requests by the scheduler's batch-compat key
+(:mod:`repro.fleet.sharding`) and aggregates per-worker
+:class:`~repro.serve.metrics.ServeMetrics` into one fleet-level view.
+
+The design preserves the serve subsystem's determinism guarantees:
+
+**Routing is a pure function of the request.**  Every request of an
+(application, backend, size) stream lands on the same worker, so that
+worker's scheduler and online controller see exactly the observation
+subsequence the single-process server would see and reproduce its
+decisions — and therefore its outputs — bit-identically (pinned by
+``tests/fleet/test_fleet.py``).
+
+**Workers start warm.**  The front-end calibrates every application once
+into a tuning database under its runtime directory, then ships the path
+to the workers, which open it **read-only**: a cold worker restores its
+controller ladders with zero kernel evaluations (the ``hello`` report
+proves it — zero DB misses, zero puts).
+
+**Admission control is explicit.**  Each shard tolerates at most
+``max_pending`` outstanding (sent but unserved) requests; beyond that the
+front-end sheds the request and returns an explicit ``rejected`` response
+instead of queueing without bound.  Accounting is exact:
+``completed + shed == len(trace)``.
+
+Per worker the front-end runs one sender task (feeding a per-shard
+:class:`asyncio.Queue`) and one reader task (draining responses as the
+worker produces them), so a slow shard never head-of-line blocks the
+others.  Transports: unix-domain sockets (default) or localhost TCP —
+same length-prefixed JSON frames (:mod:`repro.fleet.protocol`) either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..clsim.backends import resolve_backend
+from ..core.errors import PerforationError
+from ..serve.controller import ControllerPolicy, OnlineController
+from ..serve.metrics import ServeMetrics
+from ..serve.requests import ServeRequest, ServeResponse
+from .protocol import (
+    read_frame_async,
+    request_to_wire,
+    response_from_wire,
+    write_frame_async,
+)
+from .sharding import ShardMap, shard_key
+from .worker import WorkerSpec, worker_main
+
+#: Supported transports of the fleet.
+TRANSPORTS = ("unix", "tcp")
+
+#: How long to wait for a worker to bind, connect and say hello.
+SPAWN_TIMEOUT_S = 120.0
+
+#: How long shutdown waits per worker before escalating to terminate().
+SHUTDOWN_TIMEOUT_S = 10.0
+
+
+class FleetError(PerforationError):
+    """A fleet worker failed, or the fleet is in an unusable state."""
+
+
+def rejected_response(request: ServeRequest) -> ServeResponse:
+    """The explicit response of a load-shed request (it never executed)."""
+    return ServeResponse(
+        request_id=request.request_id,
+        app=request.app,
+        config_label="",
+        output=None,
+        error=None,
+        within_budget=False,
+        rejected=True,
+        batch_size=0,
+        completed_ms=request.arrival_ms,
+        metadata={"reason": "admission-control"},
+    )
+
+
+class PerforationFleet:
+    """N warm-started server processes behind one asyncio front-end.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (each a full
+        :class:`~repro.serve.server.PerforationServer`).
+    backend / device / max_batch / max_delay_ms / policy / cache_capacity /
+    monitor / strict:
+        Forwarded to every worker's server (same meaning as the
+        single-process constructor).
+    calibration_inputs:
+        Application name → representative calibration inputs.  The
+        front-end calibrates these applications once into the shared
+        tuning database before spawning workers, so every worker
+        warm-starts with zero kernel evaluations.
+    warm_apps:
+        Applications to warm eagerly (default: the calibration-input keys,
+        sorted).
+    warm:
+        Set ``False`` to skip the front-end calibration pass (workers then
+        calibrate lazily in-process — useful for cold-start experiments).
+    max_pending:
+        Admission-control bound: maximum outstanding (sent but unserved)
+        requests per shard before the front-end sheds.
+    transport:
+        ``"unix"`` (default) or ``"tcp"`` (localhost).
+    tuning_db / codegen_cache:
+        Override the replicated store locations (defaults live under the
+        fleet's runtime directory / the process environment).
+    runtime_dir:
+        Scratch directory for sockets and the tuning database; a private
+        ``repro-fleet-*`` temp dir (removed on close) when not given.
+        Unix-socket paths must stay short (the kernel limit is ~108
+        bytes), which is why the default is :func:`tempfile.mkdtemp`
+        rather than anything test-framework-provided.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        backend: str = "vectorized",
+        device: str | None = None,
+        max_batch: int = 8,
+        max_delay_ms: float = 50.0,
+        policy: ControllerPolicy | None = None,
+        calibration_inputs: Mapping[str, Sequence] | None = None,
+        warm_apps: Sequence[str] | None = None,
+        warm: bool = True,
+        max_pending: int = 256,
+        transport: str = "unix",
+        tuning_db: str | os.PathLike | None = None,
+        codegen_cache: str | os.PathLike | None = None,
+        cache_capacity: int = 256,
+        monitor: bool = True,
+        strict: bool = True,
+        runtime_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if workers < 1:
+            raise FleetError(f"workers must be >= 1, got {workers}")
+        if transport not in TRANSPORTS:
+            raise FleetError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+        if max_pending < 1:
+            raise FleetError(f"max_pending must be >= 1, got {max_pending}")
+        self.workers = int(workers)
+        self.backend_arg = backend
+        self.backend_name = resolve_backend(backend).name
+        self.device = device
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self.policy = policy
+        self.calibration_inputs = dict(calibration_inputs or {})
+        self.warm = bool(warm)
+        self.warm_apps = (
+            tuple(warm_apps)
+            if warm_apps is not None
+            else tuple(sorted(self.calibration_inputs))
+        )
+        self.max_pending = int(max_pending)
+        self.transport = transport
+        self.cache_capacity = cache_capacity
+        self.monitor = monitor
+        self.strict = strict
+        self._owns_runtime_dir = runtime_dir is None
+        self.runtime_dir = (
+            Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+            if runtime_dir is None
+            else Path(runtime_dir)
+        )
+        self.runtime_dir.mkdir(parents=True, exist_ok=True)
+        self.tuning_db_path = (
+            Path(tuning_db) if tuning_db is not None else self.runtime_dir / "tuning-db"
+        )
+        self.codegen_cache_path = None if codegen_cache is None else Path(codegen_cache)
+        #: Per-worker hello frames (pid, calibrated apps, DB counters).
+        self.warm_reports: list[dict] = []
+        #: DB counters of the front-end's own calibration pass.
+        self.parent_db_stats: dict | None = None
+        self._procs: list = []
+        self._readers: list[asyncio.StreamReader] = []
+        self._writers: list[asyncio.StreamWriter] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = False
+        self._closed = False
+        self._shed_total = 0
+        self._fleet_wall: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PerforationFleet":
+        """Warm the tuning database, spawn the workers, connect to them."""
+        if self._closed:
+            raise FleetError("fleet is closed")
+        if self._started:
+            return self
+        if self.codegen_cache_path is not None:
+            os.environ["REPRO_CODEGEN_CACHE"] = str(self.codegen_cache_path)
+        if self.warm and self.warm_apps:
+            self._warm_database()
+        addresses = self._spawn_workers()
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._connect_all(addresses))
+        except BaseException:
+            self.close()
+            raise
+        self._started = True
+        return self
+
+    def _warm_database(self) -> None:
+        """Calibrate every warm application once into the shared tuning DB."""
+        from ..api.engine import PerforationEngine
+        from ..autotune import Tuner, TuningDB
+
+        engine = PerforationEngine(device=self.device, backend=self.backend_arg)
+        db = TuningDB(self.tuning_db_path)
+        tuner = Tuner(engine, db=db)
+        controller = OnlineController(
+            engine,
+            policy=self.policy,
+            calibration_inputs=self.calibration_inputs,
+            tuner=tuner,
+        )
+        for app in self.warm_apps:
+            controller.ladder(app)
+        stats = db.stats()
+        self.parent_db_stats = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "puts": stats.puts,
+        }
+
+    def _worker_spec(self, index: int) -> WorkerSpec:
+        if self.transport == "unix":
+            address: object = str(self.runtime_dir / f"worker-{index}.sock")
+        else:
+            address = ("127.0.0.1", 0)
+        return WorkerSpec(
+            index=index,
+            address=address,
+            transport=self.transport,
+            backend=self.backend_arg,
+            device=self.device,
+            max_batch=self.max_batch,
+            max_delay_ms=self.max_delay_ms,
+            policy=self.policy,
+            calibration_inputs=self.calibration_inputs,
+            warm_apps=self.warm_apps,
+            tuning_db=str(self.tuning_db_path),
+            tuning_db_readonly=True,
+            codegen_cache=(
+                None if self.codegen_cache_path is None else str(self.codegen_cache_path)
+            ),
+            cache_capacity=self.cache_capacity,
+            monitor=self.monitor,
+            strict=self.strict,
+        )
+
+    def _spawn_workers(self) -> list:
+        ctx = multiprocessing.get_context("spawn")
+        readies = []
+        for index in range(self.workers):
+            receiver, sender = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(self._worker_spec(index), sender),
+                name=f"repro-fleet-worker-{index}",
+                daemon=True,
+            )
+            proc.start()
+            sender.close()
+            self._procs.append(proc)
+            readies.append(receiver)
+        addresses = []
+        for index, receiver in enumerate(readies):
+            try:
+                if not receiver.poll(SPAWN_TIMEOUT_S):
+                    raise FleetError(
+                        f"worker {index} did not report its address "
+                        f"within {SPAWN_TIMEOUT_S:.0f}s"
+                    )
+                addresses.append(receiver.recv())
+            except (EOFError, OSError):
+                raise FleetError(f"worker {index} died before reporting its address") from None
+            finally:
+                receiver.close()
+        return addresses
+
+    async def _connect_all(self, addresses: list) -> None:
+        connected = await asyncio.gather(
+            *(self._connect_one(index, address) for index, address in enumerate(addresses))
+        )
+        for reader, writer, hello in connected:  # gather preserves worker order
+            self._readers.append(reader)
+            self._writers.append(writer)
+            self.warm_reports.append(hello)
+
+    async def _connect_one(self, index: int, address):
+        deadline = time.monotonic() + SPAWN_TIMEOUT_S
+        while True:
+            try:
+                if self.transport == "unix":
+                    reader, writer = await asyncio.open_unix_connection(str(address))
+                else:
+                    host, port = address
+                    reader, writer = await asyncio.open_connection(str(host), int(port))
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise FleetError(
+                        f"cannot connect to worker {index} at {address!r}"
+                    ) from None
+                await asyncio.sleep(0.05)
+        hello = await asyncio.wait_for(read_frame_async(reader), timeout=SPAWN_TIMEOUT_S)
+        if hello is None or hello.get("type") != "hello":
+            raise FleetError(f"worker {index} did not say hello (got {hello!r})")
+        return reader, writer, hello
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_trace(self, trace: Iterable[ServeRequest]) -> list[ServeResponse]:
+        """Serve a whole trace across the fleet (virtual arrival order).
+
+        Returns one response per request — served or explicitly rejected —
+        sorted by request id.  Accounting is exact:
+        ``metrics().completed + metrics().shed`` equals the number of
+        requests submitted so far.
+        """
+        ordered = sorted(trace, key=lambda r: (r.arrival_ms, r.request_id))
+        if not ordered:
+            return []  # nothing to do — don't even spawn the workers
+        self.start()
+        return self._run(self._serve_async(ordered))
+
+    def _run(self, coro):
+        if self._loop is None or self._closed:
+            raise FleetError("fleet is closed")
+        return self._loop.run_until_complete(coro)
+
+    async def _serve_async(self, ordered: list[ServeRequest]) -> list[ServeResponse]:
+        shards = ShardMap.for_trace(ordered, self.workers, self.backend_name)
+        wall_start = time.perf_counter()
+        responses: dict[int, ServeResponse] = {}
+        shed: list[ServeRequest] = []
+        pending: list[set[int]] = [set() for _ in range(self.workers)]
+        queues: list[asyncio.Queue] = [asyncio.Queue() for _ in range(self.workers)]
+        drained = [asyncio.Event() for _ in range(self.workers)]
+        failures: list[str] = []
+
+        async def sender(index: int) -> None:
+            while True:
+                frame = await queues[index].get()
+                if frame is None:
+                    return
+                await write_frame_async(self._writers[index], frame)
+
+        async def reader(index: int) -> None:
+            try:
+                while True:
+                    frame = await read_frame_async(self._readers[index])
+                    if frame is None:
+                        failures.append(f"worker {index} closed its connection mid-trace")
+                        return
+                    kind = frame.get("type")
+                    if kind not in ("completed", "drained"):
+                        detail = frame.get("error", f"unexpected {kind!r} frame")
+                        failures.append(f"worker {index}: {detail}")
+                        return
+                    for wire in frame["responses"]:
+                        response = response_from_wire(wire)
+                        responses[response.request_id] = response
+                        pending[index].discard(response.request_id)
+                    if kind == "drained":
+                        return
+            except Exception as exc:
+                failures.append(f"worker {index}: {type(exc).__name__}: {exc}")
+            finally:
+                drained[index].set()
+
+        sender_tasks = [asyncio.ensure_future(sender(i)) for i in range(self.workers)]
+        reader_tasks = [asyncio.ensure_future(reader(i)) for i in range(self.workers)]
+
+        for request in ordered:
+            target = shards.assign(shard_key(request, self.backend_name))
+            # One event-loop pass so the readers can retire responses the
+            # workers already produced — pending reflects delivered state.
+            await asyncio.sleep(0)
+            if len(pending[target]) >= self.max_pending:
+                shed.append(request)
+                continue
+            pending[target].add(request.request_id)
+            await queues[target].put({"type": "serve", "request": request_to_wire(request)})
+
+        # Drain at the last *global* arrival — exactly the virtual time
+        # PerforationServer.run_trace drains at, which is what keeps batch
+        # deadline stamps (and therefore outputs) bit-identical.
+        last_arrival = ordered[-1].arrival_ms
+        for index in range(self.workers):
+            await queues[index].put({"type": "drain", "now_ms": last_arrival})
+            await queues[index].put(None)
+
+        await asyncio.gather(*(event.wait() for event in drained))
+        for index, result in enumerate(
+            await asyncio.gather(*sender_tasks, *reader_tasks, return_exceptions=True)
+        ):
+            if isinstance(result, BaseException):
+                failures.append(f"fleet io task {index}: {result}")
+        if failures:
+            raise FleetError("; ".join(failures))
+
+        self._fleet_wall = time.perf_counter() - wall_start
+        self._shed_total += len(shed)
+        results = [rejected_response(request) for request in shed]
+        results.extend(responses.values())
+        results.sort(key=lambda response: response.request_id)
+        return results
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def worker_metrics(self) -> list[dict]:
+        """Per-worker ``{"metrics": ..., "controller": ...}`` snapshots."""
+        self.start()
+        return self._run(self._collect_metrics())
+
+    async def _collect_metrics(self) -> list[dict]:
+        snapshots = []
+        for index in range(self.workers):
+            await write_frame_async(self._writers[index], {"type": "metrics"})
+            frame = await asyncio.wait_for(
+                read_frame_async(self._readers[index]), timeout=SPAWN_TIMEOUT_S
+            )
+            if frame is None or frame.get("type") != "metrics":
+                raise FleetError(f"worker {index} returned no metrics (got {frame!r})")
+            snapshots.append(
+                {"metrics": frame["metrics"], "controller": frame["controller"]}
+            )
+        return snapshots
+
+    def metrics(self) -> ServeMetrics:
+        """Fleet-level metrics: workers merged in index order (deterministic),
+        plus the front-end's shed count and the fleet wall clock."""
+        merged = ServeMetrics()
+        for snapshot in self.worker_metrics():
+            merged.merge(ServeMetrics.from_dict(snapshot["metrics"]))
+        merged.shed += self._shed_total
+        if self._fleet_wall is not None:
+            merged.finish(self._fleet_wall)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down, close the loop, remove the runtime dir."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.run_until_complete(self._shutdown())
+            except Exception:
+                pass
+            finally:
+                self._loop.close()
+        for proc in self._procs:
+            proc.join(timeout=SHUTDOWN_TIMEOUT_S)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=SHUTDOWN_TIMEOUT_S)
+        self._procs.clear()
+        if self._owns_runtime_dir:
+            shutil.rmtree(self.runtime_dir, ignore_errors=True)
+
+    async def _shutdown(self) -> None:
+        for index, writer in enumerate(self._writers):
+            try:
+                await write_frame_async(writer, {"type": "shutdown"})
+                await asyncio.wait_for(
+                    read_frame_async(self._readers[index]), timeout=SHUTDOWN_TIMEOUT_S
+                )
+            except Exception:
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "PerforationFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("started" if self._started else "new")
+        return (
+            f"<PerforationFleet workers={self.workers} "
+            f"transport={self.transport!r} {state}>"
+        )

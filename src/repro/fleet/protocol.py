@@ -1,0 +1,265 @@
+"""Length-prefixed JSON wire protocol of the serving fleet.
+
+Every message is one *frame*: a 4-byte big-endian length header followed
+by a UTF-8 JSON object.  Frames are self-delimiting, so the same codec
+serves both transports (unix-domain sockets and localhost TCP) and both
+endpoint styles (the synchronous worker loop reads from a buffered socket
+file; the asyncio front-end reads from a :class:`asyncio.StreamReader`).
+
+Values that JSON cannot carry natively are *tagged*:
+
+* :class:`numpy.ndarray` — dtype, shape and the raw bytes (base64).  The
+  byte round trip is exact, which is what makes fleet outputs
+  **bit-identical** to single-process serving;
+* :class:`~repro.data.hotspot.HotspotInput` — its two grids plus size/name;
+* tuples — distinguished from lists so request inputs survive untouched.
+
+Floats ride as JSON numbers: Python's ``json`` emits ``repr`` shortest
+round-trip literals, so measured errors and virtual timestamps are exact
+too.  The protocol is for co-operating local processes spawned by the
+front-end — it is not hardened against adversarial peers beyond frame
+length and JSON well-formedness checks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import struct
+from typing import Any, BinaryIO
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..data.hotspot import HotspotInput
+from ..serve.requests import ServeRequest, ServeResponse
+
+#: 4-byte big-endian unsigned frame length.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame (64 MiB): a torn or foreign stream fails fast
+#: instead of allocating an absurd buffer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ConfigurationError):
+    """A malformed, truncated or oversized frame."""
+
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+def to_wire(value: Any) -> Any:
+    """Encode ``value`` into JSON-representable form (tagged where needed)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        return {
+            "__kind__": "ndarray",
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "data": base64.b64encode(array.tobytes()).decode("ascii"),
+        }
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, HotspotInput):
+        return {
+            "__kind__": "hotspot",
+            "size": value.size,
+            "name": value.name,
+            "temperature": to_wire(value.temperature),
+            "power": to_wire(value.power),
+        }
+    if isinstance(value, tuple):
+        return {"__kind__": "tuple", "items": [to_wire(item) for item in value]}
+    if isinstance(value, list):
+        return [to_wire(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ProtocolError(f"dict keys must be strings on the wire, got {key!r}")
+            if key == "__kind__":
+                raise ProtocolError("dict key '__kind__' is reserved by the protocol")
+            encoded[key] = to_wire(item)
+        return encoded
+    raise ProtocolError(f"cannot encode {type(value).__name__} value for the wire")
+
+
+def from_wire(value: Any) -> Any:
+    """Decode a :func:`to_wire` value (inverse; arrays come back writable)."""
+    if isinstance(value, list):
+        return [from_wire(item) for item in value]
+    if isinstance(value, dict):
+        kind = value.get("__kind__")
+        if kind is None:
+            return {key: from_wire(item) for key, item in value.items()}
+        if kind == "ndarray":
+            data = base64.b64decode(value["data"])
+            array = np.frombuffer(data, dtype=np.dtype(value["dtype"]))
+            return array.reshape([int(n) for n in value["shape"]]).copy()
+        if kind == "hotspot":
+            return HotspotInput(
+                size=int(value["size"]),
+                temperature=from_wire(value["temperature"]),
+                power=from_wire(value["power"]),
+                name=str(value["name"]),
+            )
+        if kind == "tuple":
+            return tuple(from_wire(item) for item in value["items"])
+        raise ProtocolError(f"unknown wire tag {kind!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Request / response codec
+# ---------------------------------------------------------------------------
+def request_to_wire(request: ServeRequest) -> dict:
+    return {
+        "request_id": request.request_id,
+        "app": request.app,
+        "inputs": to_wire(request.inputs),
+        "error_budget": request.error_budget,
+        "arrival_ms": request.arrival_ms,
+        "latency_budget_ms": request.latency_budget_ms,
+        "priority": request.priority,
+    }
+
+
+def request_from_wire(data: dict) -> ServeRequest:
+    return ServeRequest(
+        request_id=int(data["request_id"]),
+        app=str(data["app"]),
+        inputs=from_wire(data["inputs"]),
+        error_budget=float(data["error_budget"]),
+        arrival_ms=float(data["arrival_ms"]),
+        latency_budget_ms=(
+            None if data.get("latency_budget_ms") is None else float(data["latency_budget_ms"])
+        ),
+        priority=int(data.get("priority", 0)),
+    )
+
+
+def response_to_wire(response: ServeResponse) -> dict:
+    return {
+        "request_id": response.request_id,
+        "app": response.app,
+        "config_label": response.config_label,
+        "output": None if response.output is None else to_wire(response.output),
+        "error": response.error,
+        "within_budget": response.within_budget,
+        "rejected": response.rejected,
+        "fallback": response.fallback,
+        "cache_hit": response.cache_hit,
+        "batch_size": response.batch_size,
+        "queue_delay_ms": response.queue_delay_ms,
+        "service_time_ms": response.service_time_ms,
+        "completed_ms": response.completed_ms,
+        "metadata": to_wire(response.metadata),
+    }
+
+
+def response_from_wire(data: dict) -> ServeResponse:
+    output = data.get("output")
+    return ServeResponse(
+        request_id=int(data["request_id"]),
+        app=str(data["app"]),
+        config_label=str(data["config_label"]),
+        output=None if output is None else from_wire(output),
+        error=None if data.get("error") is None else float(data["error"]),
+        within_budget=bool(data["within_budget"]),
+        rejected=bool(data.get("rejected", False)),
+        fallback=bool(data.get("fallback", False)),
+        cache_hit=bool(data.get("cache_hit", False)),
+        batch_size=int(data.get("batch_size", 1)),
+        queue_delay_ms=float(data.get("queue_delay_ms", 0.0)),
+        service_time_ms=float(data.get("service_time_ms", 0.0)),
+        completed_ms=float(data.get("completed_ms", 0.0)),
+        metadata=from_wire(data.get("metadata", {})),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: length header plus compact JSON body."""
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return FRAME_HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def _read_exact(stream: BinaryIO, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on immediate EOF, error mid-read."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(f"stream truncated {remaining} bytes short of a frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> dict | None:
+    """Read one frame from a blocking binary stream (``None`` on clean EOF)."""
+    header = _read_exact(stream, FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = _read_exact(stream, length)
+    if body is None:
+        raise ProtocolError("stream truncated between frame header and body")
+    return decode_body(body)
+
+
+def write_frame(stream: BinaryIO, message: dict) -> None:
+    """Write one frame to a blocking binary stream and flush it."""
+    stream.write(encode_frame(message))
+    stream.flush()
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from an asyncio stream (``None`` on clean EOF)."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("stream truncated inside a frame header") from None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("stream truncated between frame header and body") from None
+    return decode_body(body)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame to an asyncio stream and drain the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,243 @@
+"""Fleet worker: one process, one warm-started :class:`PerforationServer`.
+
+A worker is spawned by the front-end with a :class:`WorkerSpec`, binds its
+listening socket, accepts exactly one connection (the front-end), and then
+speaks the length-prefixed JSON protocol (:mod:`repro.fleet.protocol`):
+
+``hello``
+    Sent once after accept: worker index, pid, and the warm-start report —
+    which applications were calibrated eagerly and the tuning-database
+    hit/miss/put counters.  A correctly warm-started worker reports zero
+    misses and zero puts: every ladder came straight out of the replicated
+    :class:`~repro.autotune.db.TuningDB`, no calibration sweep ran.
+``serve`` → ``completed``
+    One request in (virtual arrival time drives the scheduler), the
+    responses of every micro-batch that became due back out.
+``drain`` → ``drained``
+    Flush everything still queued (end of trace) and finalise the metrics
+    wall clock.
+``metrics`` → ``metrics``
+    The worker's :meth:`ServeMetrics.to_dict` snapshot plus the online
+    controller's per-stream state.
+``shutdown`` → ``bye``
+    Clean exit.
+
+Warm start is what makes fleet scaling honest: the front-end calibrates
+each application once into a content-addressed tuning database, and every
+worker opens that database **read-only** (no LRU writes, no lock
+contention — :class:`repro.api.store.DiskStore` ``readonly`` mode) so a
+cold process restores its controller ladders with zero kernel
+evaluations.  The codegen artifact cache path is replicated the same way
+via ``REPRO_CODEGEN_CACHE``.
+
+:func:`build_server` is separate from :func:`worker_main` so tests can
+construct the exact worker-side server in process (e.g. to prove the
+zero-evaluation property with monkeypatched kernels).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..serve.controller import ControllerPolicy
+from ..serve.server import PerforationServer
+from .protocol import ProtocolError, read_frame, response_to_wire, write_frame
+from .protocol import request_from_wire
+
+#: How long a worker waits for the front-end to connect before giving up.
+ACCEPT_TIMEOUT_S = 120.0
+
+#: Per-frame socket timeout once connected (a stuck front-end kills the worker).
+FRAME_TIMEOUT_S = 600.0
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker needs, shipped picklable at spawn time."""
+
+    index: int
+    #: Unix-socket path (``transport="unix"``) or ``(host, port)`` tuple.
+    address: Any
+    transport: str = "unix"
+    backend: str = "vectorized"
+    device: str | None = None
+    max_batch: int = 8
+    max_delay_ms: float = 50.0
+    policy: ControllerPolicy | None = None
+    #: Application name → representative calibration inputs (replicated to
+    #: every worker so tuning-database keys match the front-end's warm-up).
+    calibration_inputs: Mapping[str, Any] | None = None
+    #: Applications whose controller ladders are built eagerly at startup.
+    warm_apps: tuple[str, ...] = ()
+    #: Replicated tuning-database directory (``None`` disables warm start).
+    tuning_db: str | None = None
+    tuning_db_readonly: bool = True
+    #: Replicated codegen artifact-cache directory (``REPRO_CODEGEN_CACHE``).
+    codegen_cache: str | None = None
+    cache_capacity: int = 256
+    monitor: bool = True
+    strict: bool = True
+    extra_env: Mapping[str, str] = field(default_factory=dict)
+
+
+def build_server(spec: WorkerSpec) -> tuple[PerforationServer, dict]:
+    """Construct the worker's warm-started server and its hello report.
+
+    Importable and callable in process — the cross-process path and the
+    tests exercise the same construction.
+    """
+    if spec.codegen_cache is not None:
+        os.environ["REPRO_CODEGEN_CACHE"] = spec.codegen_cache
+    for key, value in dict(spec.extra_env).items():
+        os.environ[key] = value
+
+    from ..api.engine import PerforationEngine
+
+    engine = PerforationEngine(device=spec.device, backend=spec.backend)
+    tuner = None
+    if spec.tuning_db is not None:
+        from ..autotune import Tuner, TuningDB
+
+        tuner = Tuner(
+            engine, db=TuningDB(spec.tuning_db, readonly=spec.tuning_db_readonly)
+        )
+    server = PerforationServer(
+        engine=engine,
+        backend=spec.backend,
+        max_batch=spec.max_batch,
+        max_delay_ms=spec.max_delay_ms,
+        policy=spec.policy,
+        calibration_inputs=spec.calibration_inputs,
+        tuner=tuner,
+        cache_capacity=spec.cache_capacity,
+        monitor=spec.monitor,
+        strict=spec.strict,
+    )
+    for app in spec.warm_apps:
+        server.controller.ladder(app)
+    db_stats = None
+    if tuner is not None and tuner.db is not None:
+        stats = tuner.db.stats()
+        db_stats = {"hits": stats.hits, "misses": stats.misses, "puts": stats.puts}
+    report = {
+        "worker": spec.index,
+        "pid": os.getpid(),
+        "backend": server.backend.name,
+        "calibrated_apps": list(spec.warm_apps),
+        "db": db_stats,
+    }
+    return server, report
+
+
+def _bind(spec: WorkerSpec) -> socket.socket:
+    if spec.transport == "unix":
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(spec.address))
+    elif spec.transport == "tcp":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        host, port = spec.address
+        listener.bind((str(host), int(port)))
+    else:
+        raise ProtocolError(f"unknown transport {spec.transport!r}")
+    listener.listen(1)
+    return listener
+
+
+def serve_connection(stream, server: PerforationServer, report: dict) -> None:
+    """The worker's frame loop over one established connection."""
+    write_frame(stream, {"type": "hello", **report})
+    wall_start: float | None = None
+    while True:
+        frame = read_frame(stream)
+        if frame is None:
+            break  # front-end went away: drain nothing, just exit
+        kind = frame.get("type")
+        try:
+            if kind == "serve":
+                if wall_start is None:
+                    wall_start = time.perf_counter()
+                request = request_from_wire(frame["request"])
+                responses = server.submit(request)
+                write_frame(
+                    stream,
+                    {
+                        "type": "completed",
+                        "responses": [response_to_wire(r) for r in responses],
+                    },
+                )
+            elif kind == "drain":
+                now_ms = frame.get("now_ms")
+                responses = server.drain(math.inf if now_ms is None else float(now_ms))
+                elapsed = 0.0 if wall_start is None else time.perf_counter() - wall_start
+                server.metrics.finish(elapsed)
+                write_frame(
+                    stream,
+                    {
+                        "type": "drained",
+                        "responses": [response_to_wire(r) for r in responses],
+                    },
+                )
+            elif kind == "metrics":
+                write_frame(
+                    stream,
+                    {
+                        "type": "metrics",
+                        "metrics": server.metrics.to_dict(),
+                        "controller": server.controller.snapshot(),
+                    },
+                )
+            elif kind == "shutdown":
+                write_frame(stream, {"type": "bye"})
+                break
+            else:
+                write_frame(stream, {"type": "error", "error": f"unknown frame {kind!r}"})
+        except ProtocolError:
+            raise
+        except Exception as exc:  # surface worker-side failures to the front-end
+            write_frame(
+                stream,
+                {"type": "error", "error": f"{type(exc).__name__}: {exc}"},
+            )
+
+
+def worker_main(spec: WorkerSpec, ready=None) -> None:
+    """Process entry point: bind, accept the front-end, serve frames.
+
+    ``ready`` is an optional :mod:`multiprocessing` pipe connection; the
+    bound address is sent through it right after the listener exists (for
+    TCP the kernel-assigned port is only known then), so the front-end can
+    start connecting while the worker builds its server.
+    """
+    listener = _bind(spec)
+    try:
+        listener.settimeout(ACCEPT_TIMEOUT_S)
+        if ready is not None:
+            address = listener.getsockname() if spec.transport == "tcp" else str(spec.address)
+            try:
+                ready.send(address)
+            finally:
+                ready.close()
+        server, report = build_server(spec)
+        conn, _ = listener.accept()
+        try:
+            conn.settimeout(FRAME_TIMEOUT_S)
+            stream = conn.makefile("rwb")
+            try:
+                serve_connection(stream, server, report)
+            finally:
+                stream.close()
+        finally:
+            conn.close()
+    finally:
+        listener.close()
+        if spec.transport == "unix":
+            try:
+                os.unlink(str(spec.address))
+            except OSError:
+                pass

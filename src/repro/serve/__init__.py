@@ -34,13 +34,14 @@ under mixed multi-application traffic; see ``docs/serving.md``.
 
 from .cache import ServeCacheStats, ServeResultCache
 from .controller import ControllerPolicy, OnlineController
-from .loadgen import DEFAULT_SERVE_APPS, TraceSpec, generate_trace
+from .loadgen import ARRIVAL_PROCESSES, DEFAULT_SERVE_APPS, TraceSpec, generate_trace
 from .metrics import LatencySummary, ServeMetrics
 from .requests import ServeRequest, ServeResponse
 from .scheduler import MicroBatch, MicroBatchScheduler
 from .server import PerforationServer
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "ControllerPolicy",
     "DEFAULT_SERVE_APPS",
     "LatencySummary",

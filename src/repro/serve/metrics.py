@@ -10,6 +10,13 @@ them for reports and tests.  Two kinds of quantities live here:
 * **wall-clock** quantities — service times, latency percentiles,
   throughput — which vary run to run and are reported but never asserted
   bit-exactly.
+
+Snapshots are *serializable* and *mergeable*: :meth:`ServeMetrics.to_dict`
+round-trips through JSON (:meth:`ServeMetrics.from_dict`), and
+:meth:`ServeMetrics.merge` folds another snapshot in — counters add,
+distributions concatenate, ``worst_budget_fraction`` takes the maximum.
+The fleet front-end (:mod:`repro.fleet`) uses this to aggregate per-worker
+metrics into one fleet-level view; ``serve-bench`` uses it for JSON output.
 """
 
 from __future__ import annotations
@@ -71,6 +78,7 @@ class ServeMetrics:
         self.violations = 0  # budget violations measured pre-fallback
         self.fallbacks = 0
         self.cache_hits = 0
+        self.shed = 0  # requests rejected by admission control (never served)
         self.batches = 0
         self.per_app: Counter[str] = Counter()
         self.per_config: Counter[str] = Counter()
@@ -111,6 +119,10 @@ class ServeMetrics:
         """A pre-fallback budget violation (the served output was replaced)."""
         self.violations += 1
 
+    def record_shed(self) -> None:
+        """A request rejected by admission control (not counted as completed)."""
+        self.shed += 1
+
     def finish(self, wall_time_s: float) -> None:
         self.wall_time_s = wall_time_s
 
@@ -141,6 +153,94 @@ class ServeMetrics:
         return LatencySummary.from_values(self.service_times_ms)
 
     # ------------------------------------------------------------------
+    # Serialization and aggregation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of everything the metrics hold.
+
+        Batch-size keys become strings (JSON objects key by string);
+        :meth:`from_dict` converts them back, so the round trip is exact —
+        floats survive bit-identically through ``json`` (``repr`` round-trip).
+        """
+        return {
+            "completed": self.completed,
+            "violations": self.violations,
+            "fallbacks": self.fallbacks,
+            "cache_hits": self.cache_hits,
+            "shed": self.shed,
+            "batches": self.batches,
+            "per_app": dict(sorted(self.per_app.items())),
+            "per_config": dict(sorted(self.per_config.items())),
+            "batch_sizes": {str(size): n for size, n in sorted(self.batch_sizes.items())},
+            "queue_delays_ms": list(self.queue_delays_ms),
+            "service_times_ms": list(self.service_times_ms),
+            "latencies_ms": list(self.latencies_ms),
+            "errors": list(self.errors),
+            "worst_budget_fraction": self.worst_budget_fraction,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeMetrics":
+        """Rebuild a snapshot produced by :meth:`to_dict` (JSON round-trip safe)."""
+        metrics = cls()
+        metrics.completed = int(data.get("completed", 0))
+        metrics.violations = int(data.get("violations", 0))
+        metrics.fallbacks = int(data.get("fallbacks", 0))
+        metrics.cache_hits = int(data.get("cache_hits", 0))
+        metrics.shed = int(data.get("shed", 0))
+        metrics.batches = int(data.get("batches", 0))
+        metrics.per_app = Counter({str(k): int(v) for k, v in data.get("per_app", {}).items()})
+        metrics.per_config = Counter(
+            {str(k): int(v) for k, v in data.get("per_config", {}).items()}
+        )
+        metrics.batch_sizes = Counter(
+            {int(k): int(v) for k, v in data.get("batch_sizes", {}).items()}
+        )
+        metrics.queue_delays_ms = [float(v) for v in data.get("queue_delays_ms", [])]
+        metrics.service_times_ms = [float(v) for v in data.get("service_times_ms", [])]
+        metrics.latencies_ms = [float(v) for v in data.get("latencies_ms", [])]
+        metrics.errors = [float(v) for v in data.get("errors", [])]
+        metrics.worst_budget_fraction = float(data.get("worst_budget_fraction", 0.0))
+        wall = data.get("wall_time_s")
+        metrics.wall_time_s = None if wall is None else float(wall)
+        return metrics
+
+    def merge(self, other: "ServeMetrics") -> "ServeMetrics":
+        """Fold ``other`` into this snapshot (in place; returns ``self``).
+
+        Counters add, per-key counts add, distribution samples concatenate
+        (in merge order, so a fixed worker order gives a deterministic
+        result), ``worst_budget_fraction`` takes the maximum.  Wall times
+        take the maximum too — merged processes ran concurrently, so the
+        slowest one bounds the aggregate; an aggregator measuring its own
+        wall clock should call :meth:`finish` afterwards to override.
+        """
+        self.completed += other.completed
+        self.violations += other.violations
+        self.fallbacks += other.fallbacks
+        self.cache_hits += other.cache_hits
+        self.shed += other.shed
+        self.batches += other.batches
+        self.per_app.update(other.per_app)
+        self.per_config.update(other.per_config)
+        self.batch_sizes.update(other.batch_sizes)
+        self.queue_delays_ms.extend(other.queue_delays_ms)
+        self.service_times_ms.extend(other.service_times_ms)
+        self.latencies_ms.extend(other.latencies_ms)
+        self.errors.extend(other.errors)
+        self.worst_budget_fraction = max(
+            self.worst_budget_fraction, other.worst_budget_fraction
+        )
+        if other.wall_time_s is not None:
+            self.wall_time_s = (
+                other.wall_time_s
+                if self.wall_time_s is None
+                else max(self.wall_time_s, other.wall_time_s)
+            )
+        return self
+
+    # ------------------------------------------------------------------
     def deterministic_snapshot(self) -> dict:
         """The trace-determined portion of the metrics (no wall-clock)."""
         return {
@@ -148,6 +248,7 @@ class ServeMetrics:
             "violations": self.violations,
             "fallbacks": self.fallbacks,
             "cache_hits": self.cache_hits,
+            "shed": self.shed,
             "batches": self.batches,
             "per_app": dict(sorted(self.per_app.items())),
             "per_config": dict(sorted(self.per_config.items())),
@@ -173,6 +274,8 @@ class ServeMetrics:
             f"quality: {self.violations} violations, {self.fallbacks} accurate "
             f"fallbacks, worst error/budget {self.worst_budget_fraction:.2f}"
         )
+        if self.shed:
+            lines.append(f"admission: {self.shed} requests shed (load control)")
         lines.append(f"cache: {self.cache_hits} hits ({self.cache_hit_rate:.1%} of requests)")
         selections = ", ".join(
             f"{label}={count}" for label, count in sorted(self.per_config.items())

@@ -71,18 +71,23 @@ class ServeRequest:
 
 @dataclass
 class ServeResponse:
-    """Outcome of one completed request."""
+    """Outcome of one completed (or rejected) request."""
 
     request_id: int
     app: str
-    #: Label of the configuration the batch ran with (``"Rows1:NN"``, ...).
+    #: Label of the configuration the batch ran with (``"Rows1:NN"``, ...);
+    #: empty for rejected requests, which never ran.
     config_label: str
-    output: np.ndarray
+    #: Served output; ``None`` for rejected requests.
+    output: np.ndarray | None
     #: Measured error of the *served* output (``None`` when monitoring is off).
     error: float | None
     #: Whether the served output honours the request's error budget
-    #: (vacuously true when monitoring is off).
+    #: (vacuously true when monitoring is off; false for rejected requests).
     within_budget: bool
+    #: True when the request was load-shed by admission control (fleet
+    #: front-end): it never executed and carries no output.
+    rejected: bool = False
     #: True when the approximate output violated the budget and the server
     #: substituted the accurate output (strict mode).
     fallback: bool = False

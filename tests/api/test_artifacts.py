@@ -250,3 +250,71 @@ class TestGenericStore:
             DiskStore(tmp_path, header="")
         with pytest.raises(ValueError):
             DiskStore(tmp_path, header="# h", suffix="json")
+
+
+class TestReadOnlyStore:
+    """The read-only open mode the fleet workers use: reads hit, nothing
+    on disk ever changes — no LRU mtime refresh, no writes, no eviction."""
+
+    @pytest.fixture()
+    def shared(self, tmp_path):
+        from repro.api.store import DiskStore
+
+        writer = DiskStore(tmp_path / "shared", max_entries=8, header="# h", suffix=".txt")
+        for n in range(4):
+            assert writer.put(_key(n), f"# h\nentry {n}\n")
+        return writer
+
+    def _reader(self, shared):
+        from repro.api.store import DiskStore
+
+        return DiskStore(
+            shared.root, max_entries=8, header="# h", suffix=".txt", readonly=True
+        )
+
+    def test_reads_hit_without_touching_mtimes(self, shared):
+        reader = self._reader(shared)
+        path = shared._path(_key(0))
+        os.utime(path, (1_000_000, 1_000_000))
+        before = path.stat().st_mtime
+        assert reader.get(_key(0)) == "# h\nentry 0\n"
+        assert path.stat().st_mtime == before  # no LRU refresh
+        assert reader.stats().hits == 1
+
+    def test_writes_refused_silently(self, shared):
+        reader = self._reader(shared)
+        assert reader.put(_key(9), "# h\nnew\n") is False
+        assert reader.get(_key(9)) is None
+        reader.invalidate(_key(0))
+        assert reader.get(_key(0)) is not None  # invalidate was a no-op
+        assert reader.clear() == 0
+        assert len(shared) == 4
+        assert reader.stats().puts == 0 and reader.stats().errors == 0
+
+    def test_corrupt_entry_reported_as_miss_but_left_in_place(self, shared):
+        reader = self._reader(shared)
+        shared._path(_key(1)).write_text("torn garbage")
+        assert reader.get(_key(1)) is None
+        # The writer owns the directory; a read-only handle must not
+        # delete entries out from under it.
+        assert shared._path(_key(1)).exists()
+
+    def test_many_concurrent_readers_share_one_directory(self, shared):
+        from concurrent.futures import ThreadPoolExecutor
+
+        readers = [self._reader(shared) for _ in range(8)]
+
+        def sweep(reader):
+            entries = []
+            for _ in range(16):
+                entries.extend(reader.get(_key(n)) for n in range(4))
+            return entries
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(sweep, readers))
+        expected = [f"# h\nentry {n}\n" for n in range(4)] * 16
+        assert all(result == expected for result in results)
+        for reader in readers:
+            assert reader.stats().errors == 0
+            assert reader.stats().hits == 64
+        assert len(shared) == 4  # nothing evicted, nothing written

@@ -65,6 +65,46 @@ class TestRecords:
         assert db.stats().evictions >= 2
 
 
+class TestReadOnly:
+    """Fleet workers open one shared database read-only: every handle can
+    read the warm records, none can write or disturb the LRU state."""
+
+    def test_readonly_passthrough(self, db):
+        db.put(_key(1), {"app": "gaussian"})
+        reader = TuningDB(db.root, readonly=True)
+        assert reader.readonly is True
+        assert db.readonly is False
+        assert reader.get(_key(1)) == {"app": "gaussian"}
+        assert reader.put(_key(2), {"x": 1}) is False
+        assert reader.get(_key(2)) is None
+        assert reader.clear() == 0
+        reader.invalidate(_key(1))
+        assert db.get(_key(1)) == {"app": "gaussian"}  # still there
+
+    def test_corrupt_record_left_for_the_writer(self, db):
+        db.put(_key(3), {"ok": True})
+        db.store._path(_key(3)).write_text(DB_HEADER + "\n{torn", encoding="utf-8")
+        reader = TuningDB(db.root, readonly=True)
+        assert reader.get(_key(3)) is None  # reported as a miss...
+        assert db.store._path(_key(3)).exists()  # ...but not deleted
+
+    def test_concurrent_readers_see_identical_records(self, db):
+        from concurrent.futures import ThreadPoolExecutor
+
+        records = {_key(n): {"n": n, "v": [0.1 * n]} for n in range(4)}
+        for key, record in records.items():
+            db.put(key, record)
+        readers = [TuningDB(db.root, readonly=True) for _ in range(6)]
+
+        def sweep(reader):
+            return {key: reader.get(key) for key in records}
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(sweep, readers))
+        assert all(result == records for result in results)
+        assert len(db) == 4
+
+
 class TestKeys:
     def test_tuning_key_is_canonical(self):
         a = tuning_key(app="gaussian", seed=0, space="abc")

@@ -1,0 +1,152 @@
+"""Fleet end-to-end: bit-identity vs the single-process server, exact shed
+accounting, zero-calibration warm starts, fleet-level metrics.
+
+These tests spawn real worker processes, so they live in the slow tier;
+the fast per-module pieces (protocol, sharding, validation) have their own
+files.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_image
+from repro.fleet import PerforationFleet
+from repro.serve import PerforationServer, ServeRequest, TraceSpec, generate_trace
+
+pytestmark = pytest.mark.slow
+
+SPEC = TraceSpec(
+    apps=("gaussian", "sobel3", "median"),
+    requests=18,
+    size=32,
+    inputs_per_app=2,
+    seed=31,
+)
+
+
+def _calibration_inputs(size=32):
+    return {app: [generate_image("natural", size=size, seed=77)] for app in SPEC.apps}
+
+
+@pytest.fixture(scope="module")
+def single_process_responses():
+    """Reference outputs: the whole trace served by one in-process server."""
+    server = PerforationServer(max_batch=4, calibration_inputs=_calibration_inputs())
+    responses = {r.request_id: r for r in server.run_trace(generate_trace(SPEC))}
+    return server, responses
+
+
+@pytest.mark.parametrize("transport", ["unix", "tcp"])
+def test_fleet_outputs_bit_identical_to_single_process(
+    transport, single_process_responses
+):
+    _, reference = single_process_responses
+    trace = generate_trace(SPEC)
+    with PerforationFleet(
+        workers=2,
+        max_batch=4,
+        calibration_inputs=_calibration_inputs(),
+        transport=transport,
+    ) as fleet:
+        responses = fleet.serve_trace(trace)
+        metrics = fleet.metrics()
+
+    assert len(responses) == len(trace)
+    assert metrics.shed == 0
+    for response in responses:
+        expected = reference[response.request_id]
+        # Bit-identical, not approximately equal: same config choice, same
+        # output bytes, same measured error, same virtual timestamps.
+        assert response.config_label == expected.config_label
+        assert np.array_equal(response.output, expected.output)
+        assert response.output.tobytes() == expected.output.tobytes()
+        assert response.error == expected.error
+        assert response.within_budget == expected.within_budget
+        assert response.batch_size == expected.batch_size
+        assert response.completed_ms == expected.completed_ms
+        assert response.queue_delay_ms == expected.queue_delay_ms
+
+
+def test_fleet_metrics_match_single_process_accounting(single_process_responses):
+    server, _ = single_process_responses
+    with PerforationFleet(
+        workers=2, max_batch=4, calibration_inputs=_calibration_inputs()
+    ) as fleet:
+        fleet.serve_trace(generate_trace(SPEC))
+        merged = fleet.metrics()
+        per_worker = fleet.worker_metrics()
+
+    expected = server.metrics.deterministic_snapshot()
+    actual = merged.deterministic_snapshot()
+    # Counters and per-key counts are exactly the single-process values;
+    # the errors list is a per-worker concatenation, so compare it as a
+    # multiset rather than a sequence.
+    for field in ("completed", "violations", "fallbacks", "cache_hits", "batches"):
+        assert actual[field] == expected[field]
+    assert actual["per_app"] == expected["per_app"]
+    assert actual["per_config"] == expected["per_config"]
+    assert actual["batch_sizes"] == expected["batch_sizes"]
+    assert sorted(actual["errors"]) == sorted(expected["errors"])
+    assert actual["worst_budget_fraction"] == expected["worst_budget_fraction"]
+    # Worker contributions are disjoint and complete.
+    assert sum(w["metrics"]["completed"] for w in per_worker) == expected["completed"]
+    assert all(w["metrics"]["completed"] > 0 for w in per_worker)
+
+
+def test_cold_workers_start_with_zero_calibration_sweeps():
+    with PerforationFleet(
+        workers=2, max_batch=4, calibration_inputs=_calibration_inputs()
+    ) as fleet:
+        fleet.start()
+        reports = list(fleet.warm_reports)
+        parent = fleet.parent_db_stats
+
+    # The front-end's own calibration pass filled the database...
+    assert parent is not None and parent["puts"] > 0
+    # ...and every worker restored its ladders purely from it: reads only.
+    assert len(reports) == 2
+    for report in reports:
+        assert report["calibrated_apps"] == sorted(SPEC.apps)
+        assert report["db"]["misses"] == 0
+        assert report["db"]["puts"] == 0
+        assert report["db"]["hits"] >= len(SPEC.apps)
+
+
+def test_admission_control_sheds_exactly_beyond_max_pending():
+    calibration = _calibration_inputs()
+    requests = [
+        ServeRequest(
+            request_id=index,
+            app="gaussian",
+            inputs=generate_image("natural", size=32, seed=index),
+            error_budget=0.05,
+            arrival_ms=float(index),
+        )
+        for index in range(6)
+    ]
+    # One worker, pending bound 1, and a scheduler that never flushes
+    # before the drain (huge batch, huge delay): the first request stays
+    # outstanding for the whole trace, so every later request is shed —
+    # deterministically, independent of process timing.
+    with PerforationFleet(
+        workers=1,
+        max_batch=64,
+        max_delay_ms=1e9,
+        calibration_inputs=calibration,
+        max_pending=1,
+    ) as fleet:
+        responses = fleet.serve_trace(requests)
+        metrics = fleet.metrics()
+
+    assert metrics.completed == 1
+    assert metrics.shed == len(requests) - 1
+    assert metrics.completed + metrics.shed == len(requests)
+    rejected = [r for r in responses if r.rejected]
+    assert len(rejected) == len(requests) - 1
+    assert {r.request_id for r in rejected} == set(range(1, 6))
+    for response in rejected:
+        assert response.output is None
+        assert not response.within_budget
+        assert response.config_label == ""
+    served = [r for r in responses if not r.rejected]
+    assert len(served) == 1 and served[0].request_id == 0

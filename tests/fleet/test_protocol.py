@@ -1,0 +1,204 @@
+"""Wire protocol: tagged value codec and length-prefixed frame IO."""
+
+import asyncio
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.hotspot import HotspotInput
+from repro.fleet import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    from_wire,
+    read_frame,
+    read_frame_async,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+    to_wire,
+    write_frame,
+)
+from repro.serve import ServeRequest, ServeResponse
+
+
+def round_trip(value):
+    return from_wire(to_wire(value))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int32", "uint8", "bool"])
+    def test_ndarray_round_trip_is_exact(self, dtype):
+        rng = np.random.default_rng(5)
+        array = (rng.uniform(0, 100, size=(5, 7)) - 50).astype(dtype)
+        back = round_trip(array)
+        assert back.dtype == array.dtype
+        assert back.shape == array.shape
+        assert np.array_equal(back, array)
+
+    def test_float_bit_exactness(self):
+        values = [0.1 + 0.2, 1.0 / 3.0, 2.0**-1074, 1e308, -0.0]
+        array = np.array(values)
+        assert round_trip(array).tobytes() == array.tobytes()
+        assert round_trip(values) == values  # plain floats via JSON repr
+
+    def test_decoded_arrays_are_writable(self):
+        back = round_trip(np.zeros((2, 2)))
+        back[0, 0] = 1.0  # np.frombuffer alone would be read-only
+
+    def test_non_contiguous_array(self):
+        array = np.arange(16.0).reshape(4, 4)[::2, ::2]
+        assert np.array_equal(round_trip(array), array)
+
+    def test_hotspot_input_round_trip(self):
+        from repro.data import hotspot_single
+
+        original = hotspot_single(size=32, seed=7)
+        back = round_trip(original)
+        assert isinstance(back, HotspotInput)
+        assert back.size == original.size and back.name == original.name
+        assert np.array_equal(back.temperature, original.temperature)
+        assert np.array_equal(back.power, original.power)
+
+    def test_tuples_survive_nested_containers(self):
+        value = {"a": (1, 2.5, "x"), "b": [(0,), {"c": (None, True)}]}
+        back = round_trip(value)
+        assert back == value
+        assert isinstance(back["a"], tuple)
+        assert isinstance(back["b"][0], tuple)
+        assert isinstance(back["b"][1]["c"], tuple)
+
+    def test_numpy_scalars_become_python_numbers(self):
+        assert to_wire(np.int64(3)) == 3
+        assert to_wire(np.float64(0.5)) == 0.5
+
+    def test_reserved_and_invalid_keys_rejected(self):
+        with pytest.raises(ProtocolError):
+            to_wire({"__kind__": "nope"})
+        with pytest.raises(ProtocolError):
+            to_wire({1: "non-string key"})
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            to_wire(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            from_wire({"__kind__": "mystery"})
+
+
+class TestRequestResponseCodec:
+    def test_request_round_trip(self):
+        request = ServeRequest(
+            request_id=7,
+            app="gaussian",
+            inputs=np.ones((4, 4)),
+            error_budget=0.025,
+            arrival_ms=12.5,
+            latency_budget_ms=40.0,
+            priority=1,
+        )
+        back = request_from_wire(request_to_wire(request))
+        assert back.request_id == 7 and back.app == "gaussian"
+        assert back.error_budget == 0.025 and back.arrival_ms == 12.5
+        assert back.latency_budget_ms == 40.0 and back.priority == 1
+        assert np.array_equal(back.inputs, request.inputs)
+
+    def test_response_round_trip_including_rejected(self):
+        served = ServeResponse(
+            request_id=1,
+            app="sobel3",
+            config_label="Rows1:NN",
+            output=np.full((2, 2), 0.5),
+            error=0.0125,
+            within_budget=True,
+            fallback=True,
+            cache_hit=True,
+            batch_size=3,
+            queue_delay_ms=1.5,
+            service_time_ms=2.25,
+            completed_ms=10.0,
+            metadata={"k": (1, 2)},
+        )
+        back = response_from_wire(response_to_wire(served))
+        assert np.array_equal(back.output, served.output)
+        assert back.error == served.error and back.rejected is False
+        assert back.fallback and back.cache_hit and back.batch_size == 3
+        assert back.metadata == {"k": (1, 2)}
+
+        rejected = ServeResponse(
+            request_id=2,
+            app="sobel3",
+            config_label="",
+            output=None,
+            error=None,
+            within_budget=False,
+            rejected=True,
+        )
+        back = response_from_wire(response_to_wire(rejected))
+        assert back.rejected is True and back.output is None and back.error is None
+
+
+class TestFrames:
+    def test_sync_frame_round_trip(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"type": "hello", "n": 1})
+        write_frame(stream, {"type": "bye", "values": [0.1, 0.2]})
+        stream.seek(0)
+        assert read_frame(stream) == {"type": "hello", "n": 1}
+        assert read_frame(stream) == {"type": "bye", "values": [0.1, 0.2]}
+        assert read_frame(stream) is None  # clean EOF
+
+    def test_truncated_stream_raises(self):
+        frame = encode_frame({"type": "x"})
+        stream = io.BytesIO(frame[:-2])
+        with pytest.raises(ProtocolError):
+            read_frame(stream)
+        header_only = io.BytesIO(frame[:3])
+        with pytest.raises(ProtocolError):
+            read_frame(header_only)
+
+    def test_oversized_frame_rejected_both_ways(self):
+        import struct
+
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+        bogus = io.BytesIO(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x")
+        with pytest.raises(ProtocolError):
+            read_frame(bogus)
+
+    def test_non_object_body_rejected(self):
+        import struct
+
+        body = b"[1, 2]"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            read_frame(stream)
+
+    def test_async_frame_round_trip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"type": "hello"}))
+            reader.feed_data(encode_frame({"n": 2}))
+            reader.feed_eof()
+            first = await read_frame_async(reader)
+            second = await read_frame_async(reader)
+            third = await read_frame_async(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first == {"type": "hello"}
+        assert second == {"n": 2}
+        assert third is None
+
+    def test_async_truncation_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"type": "x"})[:-1])
+            reader.feed_eof()
+            await read_frame_async(reader)
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())

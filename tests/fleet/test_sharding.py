@@ -1,0 +1,122 @@
+"""Routing: shard keys, stable hashing, planned placement."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.fleet import ShardMap, assign_shard, shard_key, stable_shard_hash
+from repro.serve import ServeRequest, TraceSpec, generate_trace
+
+
+def _request(app="gaussian", size=32, request_id=0, seed=1):
+    from repro.data import generate_image
+
+    return ServeRequest(
+        request_id=request_id,
+        app=app,
+        inputs=generate_image("natural", size=size, seed=seed),
+        error_budget=0.05,
+    )
+
+
+class TestShardKey:
+    def test_key_is_a_pure_function_of_the_request(self):
+        # Same (app, backend, size): same key, regardless of input content
+        # or request identity — the config half of the scheduler's compat
+        # key is controller state, reproduced inside the worker.
+        a = shard_key(_request(request_id=0, seed=1), "vectorized")
+        b = shard_key(_request(request_id=9, seed=2), "vectorized")
+        assert a == b == ("gaussian", "vectorized", (32, 32))
+
+    def test_key_separates_app_backend_and_size(self):
+        base = shard_key(_request(), "vectorized")
+        assert shard_key(_request(app="sobel3"), "vectorized") != base
+        assert shard_key(_request(), "compiled") != base
+        assert shard_key(_request(size=64), "vectorized") != base
+
+
+class TestStableHash:
+    def test_hash_is_pinned_across_processes_and_versions(self):
+        # SHA-256-derived, no per-process salt: this exact value must never
+        # drift, or restarts would re-route live streams.
+        assert stable_shard_hash(("gaussian", "vectorized", (64, 64))) == 8583040166835179682
+
+    def test_assignment_is_deterministic_and_in_range(self):
+        keys = [
+            (app, "vectorized", (size, size))
+            for app in ("gaussian", "sobel3", "sobel5", "median", "inversion", "hotspot")
+            for size in (32, 64, 128)
+        ]
+        for workers in (1, 2, 3, 4, 7):
+            first = [assign_shard(key, workers) for key in keys]
+            second = [assign_shard(key, workers) for key in keys]
+            assert first == second
+            assert all(0 <= index < workers for index in first)
+        # With one worker everything lands on it.
+        assert {assign_shard(key, 1) for key in keys} == {0}
+
+    def test_enough_keys_reach_every_worker(self):
+        keys = [("app", "vectorized", (16 * n, 16 * n)) for n in range(1, 65)]
+        assert {assign_shard(key, 4) for key in keys} == {0, 1, 2, 3}
+
+    def test_workers_validated(self):
+        with pytest.raises(ConfigurationError):
+            assign_shard(("a", "b", (1,)), 0)
+
+
+class TestShardMap:
+    def test_planned_keeps_each_key_on_one_worker(self):
+        counts = {
+            ("gaussian", "vectorized", (32, 32)): 10,
+            ("sobel3", "vectorized", (32, 32)): 5,
+            ("median", "vectorized", (32, 32)): 5,
+        }
+        shard_map = ShardMap.planned(counts, workers=2)
+        # LPT: the heavy key alone on one worker, the two light ones together.
+        heavy = shard_map.assign(("gaussian", "vectorized", (32, 32)))
+        light = {
+            shard_map.assign(("sobel3", "vectorized", (32, 32))),
+            shard_map.assign(("median", "vectorized", (32, 32))),
+        }
+        assert light == {1 - heavy}
+
+    def test_planned_is_deterministic(self):
+        counts = {("a%d" % n, "vectorized", (32, 32)): n % 5 + 1 for n in range(20)}
+        first = ShardMap.planned(counts, workers=3).assignment
+        second = ShardMap.planned(dict(reversed(list(counts.items()))), workers=3).assignment
+        assert first == second  # pure function of counts, not dict order
+
+    def test_unplanned_keys_fall_back_to_stable_hash(self):
+        shard_map = ShardMap(4, {("a", "vectorized", (1, 1)): 2})
+        assert shard_map.assign(("a", "vectorized", (1, 1))) == 2
+        other = ("b", "vectorized", (2, 2))
+        assert shard_map.assign(other) == assign_shard(other, 4)
+
+    def test_for_trace_balances_request_counts(self):
+        spec = TraceSpec(
+            apps=("gaussian", "sobel3", "median", "inversion"),
+            requests=60,
+            size=32,
+            inputs_per_app=2,
+            seed=11,
+        )
+        trace = generate_trace(spec)
+        shard_map = ShardMap.for_trace(trace, workers=2, backend_name="vectorized")
+        loads = [0, 0]
+        key_counts: dict = {}
+        for request in trace:
+            key = shard_key(request, "vectorized")
+            key_counts[key] = key_counts.get(key, 0) + 1
+            loads[shard_map.assign(key)] += 1
+        assert sum(loads) == len(trace)
+        assert min(loads) > 0
+        # LPT guarantee: the imbalance never exceeds the heaviest single key
+        # (keys are atomic — splitting one would break batching).
+        assert abs(loads[0] - loads[1]) <= max(key_counts.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(0)
+        with pytest.raises(ConfigurationError):
+            ShardMap(2, {("a", "b", (1,)): 5})
+        with pytest.raises(ConfigurationError):
+            ShardMap.planned({}, workers=0)

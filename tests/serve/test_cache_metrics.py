@@ -122,3 +122,80 @@ class TestServeMetrics:
         assert metrics.errors == []
         assert metrics.violations == 0
         assert metrics.worst_budget_fraction == 0.0
+
+    def test_shed_counter(self):
+        metrics = ServeMetrics()
+        metrics.record_shed()
+        metrics.record_shed()
+        assert metrics.shed == 2
+        assert metrics.completed == 0  # shed requests are never completed
+        assert metrics.deterministic_snapshot()["shed"] == 2
+        assert "2 requests shed" in metrics.describe()
+
+
+def _populated_metrics(offset=0, wall=0.5):
+    metrics = ServeMetrics()
+    metrics.record_batch(2)
+    metrics.record_batch(1)
+    metrics.record_response(_response(offset, error=0.01), budget=0.05)
+    metrics.record_response(
+        _response(offset + 1, app="sobel3", label="Accurate", error=0.0, cache_hit=True),
+        budget=0.05,
+    )
+    metrics.record_violation()
+    metrics.record_shed()
+    metrics.finish(wall_time_s=wall)
+    return metrics
+
+
+class TestServeMetricsSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        metrics = _populated_metrics()
+        data = json.loads(json.dumps(metrics.to_dict()))
+        rebuilt = ServeMetrics.from_dict(data)
+        # The round trip is exact: same snapshot, same distributions, same wall.
+        assert rebuilt.to_dict() == metrics.to_dict()
+        assert rebuilt.deterministic_snapshot() == metrics.deterministic_snapshot()
+        assert rebuilt.batch_sizes == metrics.batch_sizes  # int keys restored
+        assert rebuilt.wall_time_s == metrics.wall_time_s
+        assert rebuilt.shed == metrics.shed
+
+    def test_from_dict_defaults_missing_fields(self):
+        rebuilt = ServeMetrics.from_dict({})
+        assert rebuilt.completed == 0
+        assert rebuilt.wall_time_s is None
+        assert rebuilt.to_dict() == ServeMetrics().to_dict()
+
+    def test_merge_adds_counters_and_concatenates_distributions(self):
+        left = _populated_metrics(offset=0, wall=0.5)
+        right = _populated_metrics(offset=10, wall=0.8)
+        right.worst_budget_fraction = 0.9
+        merged = left.merge(right)
+        assert merged is left  # in place, returns self
+        assert merged.completed == 4
+        assert merged.batches == 4
+        assert merged.violations == 2  # one explicit record_violation per side
+        assert merged.shed == 2
+        assert merged.cache_hits == 2
+        assert merged.per_app == {"gaussian": 2, "sobel3": 2}
+        assert merged.batch_sizes == {2: 2, 1: 2}
+        assert len(merged.latencies_ms) == 4
+        assert merged.worst_budget_fraction == 0.9  # max, not sum
+        assert merged.wall_time_s == 0.8  # concurrent processes: slowest bounds
+
+    def test_merge_is_deterministic_in_order(self):
+        parts = [_populated_metrics(offset=10 * i, wall=0.1 * (i + 1)) for i in range(3)]
+        merged = ServeMetrics()
+        for part in parts:
+            merged.merge(part)
+        again = ServeMetrics()
+        for part in [_populated_metrics(offset=10 * i, wall=0.1 * (i + 1)) for i in range(3)]:
+            again.merge(part)
+        assert merged.to_dict() == again.to_dict()
+
+    def test_merge_empty_keeps_wall_none(self):
+        merged = ServeMetrics().merge(ServeMetrics())
+        assert merged.wall_time_s is None
+        assert merged.completed == 0

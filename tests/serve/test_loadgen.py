@@ -1,0 +1,123 @@
+"""Synthetic load generator: arrival processes and determinism."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve.loadgen import ARRIVAL_PROCESSES, TraceSpec, generate_trace
+
+SMALL = dict(apps=("gaussian", "sobel3"), requests=40, size=32, inputs_per_app=2, seed=99)
+
+
+def _gaps(trace):
+    arrivals = [r.arrival_ms for r in trace]
+    return np.diff(np.asarray(arrivals))
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_same_spec_same_trace(self, process):
+        spec = TraceSpec(arrival_process=process, **SMALL)
+        first = generate_trace(spec)
+        second = generate_trace(spec)
+        assert len(first) == spec.requests
+        for a, b in zip(first, second):
+            assert a.request_id == b.request_id
+            assert a.app == b.app
+            assert a.arrival_ms == b.arrival_ms  # bit-identical, not approx
+            assert a.error_budget == b.error_budget
+            assert a.priority == b.priority
+            assert np.array_equal(np.asarray(a.inputs), np.asarray(b.inputs))
+
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_arrivals_sorted_and_positive(self, process):
+        trace = generate_trace(TraceSpec(arrival_process=process, **SMALL))
+        arrivals = [r.arrival_ms for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0.0
+
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_seed_changes_trace(self, process):
+        base = dict(SMALL)
+        spec_a = TraceSpec(arrival_process=process, **base)
+        base["seed"] = 100
+        spec_b = TraceSpec(arrival_process=process, **base)
+        a = [r.arrival_ms for r in generate_trace(spec_a)]
+        b = [r.arrival_ms for r in generate_trace(spec_b)]
+        assert a != b
+
+    def test_processes_produce_distinct_arrival_patterns(self):
+        arrivals = {
+            process: [
+                r.arrival_ms
+                for r in generate_trace(TraceSpec(arrival_process=process, **SMALL))
+            ]
+            for process in ARRIVAL_PROCESSES
+        }
+        assert arrivals["poisson"] != arrivals["diurnal"]
+        assert arrivals["poisson"] != arrivals["bursty"]
+        assert arrivals["diurnal"] != arrivals["bursty"]
+
+    def test_bursty_clusters_arrivals(self):
+        """Bursty traffic has many short intra-burst gaps and a long tail."""
+        spec = TraceSpec(arrival_process="bursty", burst_factor=50.0, **SMALL)
+        gaps = _gaps(generate_trace(spec))
+        poisson_gaps = _gaps(generate_trace(TraceSpec(**SMALL)))
+        mean_gap = float(np.mean(poisson_gaps))
+        # At least half the bursty gaps are much shorter than the Poisson
+        # mean (inside a burst), while the largest gap (between bursts) is
+        # much longer.
+        assert np.mean(gaps < 0.2 * mean_gap) >= 0.5
+        assert float(np.max(gaps)) > 2.0 * mean_gap
+
+    def test_diurnal_rate_varies_across_the_cycle(self):
+        """Peak-phase arrivals are denser than trough-phase arrivals."""
+        spec = TraceSpec(
+            arrival_process="diurnal",
+            diurnal_amplitude=0.9,
+            diurnal_period_s=0.5,
+            apps=("gaussian",),
+            requests=400,
+            size=32,
+            inputs_per_app=1,
+            seed=5,
+        )
+        trace = generate_trace(spec)
+        period_ms = spec.diurnal_period_s * 1000.0
+        # sin > 0 in the first half of each cycle (the high-rate phase).
+        phases = np.asarray([r.arrival_ms % period_ms for r in trace])
+        peak = int(np.sum(phases < period_ms / 2))
+        trough = len(phases) - peak
+        assert peak > 1.5 * trough
+
+    def test_poisson_path_unchanged_by_new_fields(self):
+        """The default process ignores the diurnal/bursty knobs entirely."""
+        spec = TraceSpec(**SMALL)
+        tweaked = dataclasses.replace(
+            spec, diurnal_amplitude=0.1, burst_factor=3.0, burst_mean_size=2.0
+        )
+        assert [r.arrival_ms for r in generate_trace(spec)] == [
+            r.arrival_ms for r in generate_trace(tweaked)
+        ]
+
+
+class TestSpecValidation:
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec(arrival_process="fractal", **SMALL)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("diurnal_amplitude", 1.0),
+            ("diurnal_amplitude", -0.1),
+            ("diurnal_period_s", 0.0),
+            ("burst_factor", 0.5),
+            ("burst_mean_size", 0.9),
+        ],
+    )
+    def test_arrival_knobs_validated(self, field, value):
+        with pytest.raises(ConfigurationError):
+            TraceSpec(**{field: value}, **SMALL)
