@@ -94,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-batch", type=int, default=8, help="micro-batch cap (serve-bench)"
     )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="fleet mode only: kill worker 0 after its first request and "
+        "require recovery to complete the trace bit-identically "
+        "(serve-bench with --workers >= 2)",
+    )
     autotune = parser.add_argument_group("autotune options")
     autotune.add_argument(
         "--app", default="gaussian", help="application to tune (autotune)"
@@ -136,6 +143,10 @@ def _run_serve_bench(args, parser: argparse.ArgumentParser) -> int:
         )
     if isinstance(args.workers, int) and args.workers >= 2:
         return _run_serve_bench_fleet(args)
+    if args.chaos:
+        parser.error(
+            "--chaos requires fleet mode: pass --workers N with N >= 2"
+        )
     result = run(
         quick=args.quick,
         requests=args.requests,
@@ -162,10 +173,12 @@ def _run_serve_bench_fleet(args) -> int:
         max_batch=args.max_batch,
         device=args.device,
         workers=args.workers,
+        chaos=args.chaos,
     )
-    # Quick runs are smoke tests: never overwrite the full-size record the
-    # regression gate compares against.
-    path = write_fleet_report(result, args.output, record=not args.quick)
+    # Quick runs are smoke tests and chaos walls include recovery replay:
+    # neither may overwrite the full-size record the regression gate
+    # compares against.
+    path = write_fleet_report(result, args.output, record=not args.quick and not args.chaos)
     print(render_fleet(result))
     print(f"\nreport written to {path}")
     return 0 if result.passed else 1

@@ -258,7 +258,9 @@ class FleetBenchResult:
     single_within_budget: bool
     required_speedup: float
     warm_reports: list = field(default_factory=list)
+    respawn_reports: list = field(default_factory=list)
     parent_db_stats: dict | None = None
+    chaos: bool = False
 
     @property
     def speedup(self) -> float:
@@ -266,20 +268,35 @@ class FleetBenchResult:
 
     @property
     def cold_evaluations(self) -> int:
-        """Tuning-DB misses+puts across all workers: 0 means every worker
-        warm-started without a single calibration sweep."""
-        return sum(r["db"]["misses"] + r["db"]["puts"] for r in self.warm_reports)
+        """Tuning-DB misses+puts across all workers (respawns included):
+        0 means no worker — initial or recovered — ran a calibration sweep."""
+        return sum(
+            r["db"]["misses"] + r["db"]["puts"]
+            for r in list(self.warm_reports) + list(self.respawn_reports)
+        )
+
+    @property
+    def exact_accounting(self) -> bool:
+        """``completed + shed + failed == len(trace)`` — no request lost."""
+        total = self.fleet.completed + self.fleet.shed + self.fleet.failed
+        return total == self.spec.requests
 
     @property
     def passed(self) -> bool:
-        return (
+        ok = (
             self.speedup >= self.required_speedup
             and self.bit_identical
             and self.fleet_within_budget
             and self.single_within_budget
             and self.fleet.shed == 0
             and self.cold_evaluations == 0
+            and self.exact_accounting
         )
+        if self.chaos:
+            # The chaos smoke must actually have killed a worker, and
+            # recovery must have completed every request regardless.
+            ok = ok and self.fleet.worker_failures >= 1 and self.fleet.failed == 0
+        return ok
 
 
 def run_fleet(
@@ -290,6 +307,7 @@ def run_fleet(
     max_batch: int = 8,
     device=None,
     workers: int = 2,
+    chaos: bool = False,
 ) -> FleetBenchResult:
     """Serve the trace on an N-worker fleet and on one in-process server.
 
@@ -298,6 +316,14 @@ def run_fleet(
     measured walls compare *serving*, not calibration.  The fleet must
     reproduce the single server's outputs bit-identically, shed nothing,
     and start every worker with zero calibration evaluations.
+
+    ``chaos=True`` kills worker 0 (hard exit) after its first served
+    request: the run then exercises detection, respawn-and-replay, and the
+    exact-accounting invariant, and passes only if at least one worker
+    failure was recovered with zero failed requests and outputs still
+    bit-identical.  Chaos runs waive the throughput bar (recovery replays
+    work, so the wall is not a scaling measurement) and never write the
+    regression-gated record.
     """
     from ..autotune import Tuner, TuningDB
     from ..fleet import PerforationFleet
@@ -308,17 +334,24 @@ def run_fleet(
     trace = generate_trace(spec)
     calibration = _calibration_inputs(spec)
 
+    chaos_kwargs = (
+        dict(fail_after={0: 1}, request_timeout_s=120.0, max_respawns=3)
+        if chaos
+        else {}
+    )
     fleet = PerforationFleet(
         workers=workers,
         device=device,
         max_batch=max_batch,
         calibration_inputs=calibration,
+        **chaos_kwargs,
     )
     try:
         fleet.start()
         fleet_responses = fleet.serve_trace(trace)
         fleet_metrics = fleet.metrics()
         warm_reports = list(fleet.warm_reports)
+        respawn_reports = list(fleet.respawn_reports)
         parent_db_stats = fleet.parent_db_stats
 
         # Single-process reference over the same warm database; ladders are
@@ -363,17 +396,20 @@ def run_fleet(
         bit_identical=bit_identical,
         fleet_within_budget=all(r.within_budget for r in fleet_responses),
         single_within_budget=all(r.within_budget for r in single_responses),
-        required_speedup=fleet_required_speedup(workers),
+        required_speedup=0.0 if chaos else fleet_required_speedup(workers),
         warm_reports=warm_reports,
+        respawn_reports=respawn_reports,
         parent_db_stats=parent_db_stats,
+        chaos=chaos,
     )
 
 
 def render_fleet(result: FleetBenchResult) -> str:
     spec = result.spec
     effective = min(result.workers, result.cpu_count)
+    mode = " --chaos (worker 0 killed after its first request)" if result.chaos else ""
     lines = [
-        f"serve-bench --workers {result.workers}: fleet serving vs one "
+        f"serve-bench --workers {result.workers}{mode}: fleet serving vs one "
         "in-process batched server",
         f"trace: {spec.requests} requests over {len(spec.apps)} apps "
         f"({', '.join(spec.apps)}), {spec.size}x{spec.size} inputs, "
@@ -389,15 +425,29 @@ def render_fleet(result: FleetBenchResult) -> str:
         result.single.describe(),
         "",
         f"throughput speedup: {result.speedup:.2f}x "
-        f"(required >= {result.required_speedup:g}x)",
+        f"(required >= {result.required_speedup:g}x"
+        + (", waived under chaos)" if result.chaos else ")"),
         f"outputs bit-identical to single process: {result.bit_identical}",
         f"requests shed: {result.fleet.shed}",
+        f"accounting exact (completed + shed + failed == trace): "
+        f"{result.exact_accounting}",
         f"cold-worker calibration evaluations: {result.cold_evaluations} "
         f"(workers warm-started from the front-end's tuning database)",
-        f"all completed requests within error budget: "
-        f"fleet={result.fleet_within_budget}, single={result.single_within_budget}",
-        f"result: {'PASS' if result.passed else 'FAIL'}",
     ]
+    if result.chaos or result.fleet.worker_failures:
+        lines.append(
+            f"resilience: {result.fleet.worker_failures} worker failures, "
+            f"{result.fleet.replayed} requests replayed, "
+            f"{result.fleet.failed} failed, "
+            f"{len(result.respawn_reports)} respawns"
+        )
+    lines.extend(
+        [
+            f"all completed requests within error budget: "
+            f"fleet={result.fleet_within_budget}, single={result.single_within_budget}",
+            f"result: {'PASS' if result.passed else 'FAIL'}",
+        ]
+    )
     return "\n".join(lines)
 
 
@@ -445,14 +495,16 @@ def write_fleet_report(
     """Write the fleet report; also the JSON record unless ``record=False``.
 
     Quick runs pass ``record=False`` so a smoke configuration never
-    overwrites the full-size record the regression gate compares.
+    overwrites the full-size record the regression gate compares; chaos
+    runs never write it regardless (their wall clock includes recovery
+    replay, which is not a scaling measurement).
     """
     import json
 
     path = Path(path) if path is not None else FLEET_RESULTS_PATH
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_fleet(result) + "\n")
-    if record:
+    if record and not result.chaos:
         FLEET_RECORD_PATH.parent.mkdir(parents=True, exist_ok=True)
         FLEET_RECORD_PATH.write_text(json.dumps(fleet_record(result), indent=2) + "\n")
     return path

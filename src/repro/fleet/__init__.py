@@ -7,11 +7,12 @@ a full server warm-started from a replicated tuning database — see
 ``docs/fleet.md`` for the design and its determinism guarantees.
 """
 
-from .frontend import FleetError, PerforationFleet, rejected_response
+from .frontend import FleetError, PerforationFleet, failed_response, rejected_response
 from .protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
     encode_frame,
+    error_frame,
     from_wire,
     read_frame,
     read_frame_async,
@@ -37,6 +38,8 @@ __all__ = [
     "assign_shard",
     "build_server",
     "encode_frame",
+    "error_frame",
+    "failed_response",
     "from_wire",
     "read_frame",
     "read_frame_async",

@@ -25,14 +25,42 @@ proves it — zero DB misses, zero puts).
 **Admission control is explicit.**  Each shard tolerates at most
 ``max_pending`` outstanding (sent but unserved) requests; beyond that the
 front-end sheds the request and returns an explicit ``rejected`` response
-instead of queueing without bound.  Accounting is exact:
-``completed + shed == len(trace)``.
+instead of queueing without bound.
+
+**Worker failure is survivable.**  The front-end keeps, per worker, the
+exact ordered log of everything it sent (the worker's *observation
+subsequence*).  When a worker fails — its connection reaches EOF, it
+sends a fatal ``error`` frame, or no frame arrives within
+``request_timeout_s`` while work is outstanding — the front-end respawns
+it from the same :class:`WorkerSpec` (bumping the spec's ``generation``)
+with bounded backoff and replays the log.  Because the respawned worker
+warm-starts read-only from the same tuning database and then observes the
+same subsequence in the same order, it reproduces the dead worker's
+scheduler and controller decisions — and therefore the trace's outputs —
+**bit-identically**; re-delivered responses simply overwrite their
+identical predecessors.  After ``max_respawns`` failures of the same
+shard the front-end degrades gracefully instead of hanging: the shard's
+outstanding and future requests are answered with explicit *failed*
+responses.  Accounting stays exact throughout:
+``completed + shed + failed == len(trace)``.
+
+Internals that make replay sound: the front-end assigns every request a
+globally unique *wire id* (a monotone sequence number, mapped back before
+responses are returned), so a replayed response from an earlier trace can
+never collide with a current request id; drain frames carry a sequence
+tag the worker echoes, so a historical drain's echo is distinguishable
+from the current trace's.  The wire-id rewrite is order-preserving, which
+is why it cannot perturb the scheduler's deterministic tie-breaking.
 
 Per worker the front-end runs one sender task (feeding a per-shard
 :class:`asyncio.Queue`) and one reader task (draining responses as the
 worker produces them), so a slow shard never head-of-line blocks the
-others.  Transports: unix-domain sockets (default) or localhost TCP —
-same length-prefixed JSON frames (:mod:`repro.fleet.protocol`) either way.
+others.  A per-worker lock serialises the sender against recovery: a
+request is appended to the replay log *before* its frame is written, so
+every request is delivered exactly once per worker generation — by the
+original write or by the replay, never both.  Transports: unix-domain
+sockets (default) or localhost TCP — same length-prefixed JSON frames
+(:mod:`repro.fleet.protocol`) either way.
 """
 
 from __future__ import annotations
@@ -43,6 +71,7 @@ import os
 import shutil
 import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -69,13 +98,20 @@ SPAWN_TIMEOUT_S = 120.0
 #: How long shutdown waits per worker before escalating to terminate().
 SHUTDOWN_TIMEOUT_S = 10.0
 
+#: Respawn backoff: base * 2**(attempt-1), bounded by the cap.
+RESPAWN_BACKOFF_S = 0.05
+RESPAWN_BACKOFF_MAX_S = 2.0
+
+#: Wire ids of one trace occupy a stride so multi-trace ids never collide.
+_SERVE = "serve"
+_DRAIN = "drain"
+
 
 class FleetError(PerforationError):
-    """A fleet worker failed, or the fleet is in an unusable state."""
+    """A fleet worker failed unrecoverably, or the fleet is in an unusable state."""
 
 
-def rejected_response(request: ServeRequest) -> ServeResponse:
-    """The explicit response of a load-shed request (it never executed)."""
+def _unserved_response(request: ServeRequest, reason: str) -> ServeResponse:
     return ServeResponse(
         request_id=request.request_id,
         app=request.app,
@@ -86,8 +122,28 @@ def rejected_response(request: ServeRequest) -> ServeResponse:
         rejected=True,
         batch_size=0,
         completed_ms=request.arrival_ms,
-        metadata={"reason": "admission-control"},
+        metadata={"reason": reason},
     )
+
+
+def rejected_response(request: ServeRequest) -> ServeResponse:
+    """The explicit response of a load-shed request (it never executed)."""
+    return _unserved_response(request, "admission-control")
+
+
+def failed_response(request: ServeRequest, reason: str = "worker-failure") -> ServeResponse:
+    """The explicit response of a request failed by the fleet.
+
+    Produced when a worker reports a request-scoped error
+    (``reason="worker-error"``), when a shard exhausts its respawn budget
+    with the request outstanding (``"worker-failure"``), or when a request
+    routes to a shard already degraded (``"shard-degraded"``).  Like a
+    shed request it carries ``rejected=True`` — it never completed — but
+    is counted separately (:attr:`ServeMetrics.failed`) so the exact
+    accounting invariant ``completed + shed + failed == len(trace)``
+    distinguishes overload from failure.
+    """
+    return _unserved_response(request, reason)
 
 
 class PerforationFleet:
@@ -120,13 +176,48 @@ class PerforationFleet:
         ``"unix"`` (default) or ``"tcp"`` (localhost).
     tuning_db / codegen_cache:
         Override the replicated store locations (defaults live under the
-        fleet's runtime directory / the process environment).
+        fleet's runtime directory / the process environment).  A
+        ``codegen_cache`` override is exported as ``REPRO_CODEGEN_CACHE``
+        for the spawned workers; the prior value is restored on
+        :meth:`close`.
     runtime_dir:
         Scratch directory for sockets and the tuning database; a private
         ``repro-fleet-*`` temp dir (removed on close) when not given.
         Unix-socket paths must stay short (the kernel limit is ~108
         bytes), which is why the default is :func:`tempfile.mkdtemp`
         rather than anything test-framework-provided.
+    request_timeout_s:
+        Failure detector: if no frame arrives from a worker within this
+        many seconds while it has outstanding work, the worker is treated
+        as hung and recovered.  Must comfortably exceed the worst-case
+        micro-batch service time — a worker that is merely slow would be
+        killed and replayed (correct, but wasted work).  ``None``
+        (default) disables the timeout; EOF and fatal error frames are
+        always detected.
+    max_respawns:
+        Recovery budget per worker slot.  Failure ``k`` of a slot
+        triggers respawn-and-replay while ``k <= max_respawns``; beyond
+        that the shard degrades gracefully — outstanding and future
+        requests are answered with explicit failed responses instead of
+        hanging the trace.
+    replay:
+        ``False`` disables recovery entirely: the first failure of a
+        shard degrades it (as if its budget were exhausted).  Recovery
+        replays the worker's full observation subsequence, so its cost —
+        and the front-end's memory for the log — grows with everything
+        the fleet has served; long-lived fleets that cannot afford that
+        can opt out.
+    fail_after / error_on / hang_on / chaos_persistent:
+        Deterministic fault injection for the chaos suite and
+        ``serve-bench --chaos``: ``fail_after`` maps worker index → crash
+        the worker (hard exit) after it handled that many requests;
+        ``error_on`` lists wire request ids the workers answer with
+        request-scoped error frames; ``hang_on`` lists wire request ids
+        the workers hang on instead of serving (detectable only by
+        ``request_timeout_s``).  Wire ids are assigned in arrival order
+        starting at 0 for the fleet's first trace.  Respawned workers
+        drop ``fail_after``/``hang_on`` unless ``chaos_persistent=True``
+        (which makes the fault recur until the respawn budget runs out).
     """
 
     def __init__(
@@ -149,6 +240,13 @@ class PerforationFleet:
         monitor: bool = True,
         strict: bool = True,
         runtime_dir: str | os.PathLike | None = None,
+        request_timeout_s: float | None = None,
+        max_respawns: int = 2,
+        replay: bool = True,
+        fail_after: Mapping[int, int] | None = None,
+        error_on: Sequence[int] | None = None,
+        hang_on: Sequence[int] | None = None,
+        chaos_persistent: bool = False,
     ) -> None:
         if workers < 1:
             raise FleetError(f"workers must be >= 1, got {workers}")
@@ -156,6 +254,12 @@ class PerforationFleet:
             raise FleetError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
         if max_pending < 1:
             raise FleetError(f"max_pending must be >= 1, got {max_pending}")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise FleetError(
+                f"request_timeout_s must be positive or None, got {request_timeout_s}"
+            )
+        if max_respawns < 0:
+            raise FleetError(f"max_respawns must be >= 0, got {max_respawns}")
         self.workers = int(workers)
         self.backend_arg = backend
         self.backend_name = resolve_backend(backend).name
@@ -175,6 +279,13 @@ class PerforationFleet:
         self.cache_capacity = cache_capacity
         self.monitor = monitor
         self.strict = strict
+        self.request_timeout_s = request_timeout_s
+        self.max_respawns = int(max_respawns)
+        self.replay = bool(replay)
+        self.fail_after = dict(fail_after or {})
+        self.error_on = tuple(error_on or ())
+        self.hang_on = tuple(hang_on or ())
+        self.chaos_persistent = bool(chaos_persistent)
         self._owns_runtime_dir = runtime_dir is None
         self.runtime_dir = (
             Path(tempfile.mkdtemp(prefix="repro-fleet-"))
@@ -186,41 +297,90 @@ class PerforationFleet:
             Path(tuning_db) if tuning_db is not None else self.runtime_dir / "tuning-db"
         )
         self.codegen_cache_path = None if codegen_cache is None else Path(codegen_cache)
-        #: Per-worker hello frames (pid, calibrated apps, DB counters).
+        #: Per-worker hello frames (pid, generation, calibrated apps, DB counters).
         self.warm_reports: list[dict] = []
+        #: Hello frames of respawned workers (recovery warm starts).
+        self.respawn_reports: list[dict] = []
         #: DB counters of the front-end's own calibration pass.
         self.parent_db_stats: dict | None = None
+        self._specs: list[WorkerSpec] = []
         self._procs: list = []
         self._readers: list[asyncio.StreamReader] = []
         self._writers: list[asyncio.StreamWriter] = []
+        self._send_locks: list[asyncio.Lock] = []
+        #: Per worker, the ordered log of every frame-worth of work sent —
+        #: the worker's exact observation subsequence, replayed on respawn.
+        self._sent_log: list[list[tuple]] = []
+        #: Per worker, (output-stripped response, error budget) of every
+        #: first-delivered response — reconstructs a dead shard's metrics.
+        self._delivered: list[list[tuple[ServeResponse, float]]] = []
+        self._dead: list[bool] = []
+        self._failures: list[int] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._started = False
         self._closed = False
+        self._env_applied = False
+        self._prior_codegen_cache: str | None = None
+        self._wire_seq = 0
+        self._drain_seq = 0
+        self._wire_to_request: dict[int, ServeRequest] = {}
         self._shed_total = 0
+        self._failed_total = 0
+        self._replayed_total = 0
+        self._worker_failures_total = 0
         self._fleet_wall: float | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "PerforationFleet":
-        """Warm the tuning database, spawn the workers, connect to them."""
+        """Warm the tuning database, spawn the workers, connect to them.
+
+        Partial startup failures (a worker dying before reporting its
+        address, a worker whose server fails to build) tear the fleet
+        down completely: already-spawned workers are terminated, the
+        runtime directory is removed, and the process environment is
+        restored before the error propagates.
+        """
         if self._closed:
             raise FleetError("fleet is closed")
         if self._started:
             return self
-        if self.codegen_cache_path is not None:
-            os.environ["REPRO_CODEGEN_CACHE"] = str(self.codegen_cache_path)
-        if self.warm and self.warm_apps:
-            self._warm_database()
-        addresses = self._spawn_workers()
-        self._loop = asyncio.new_event_loop()
+        self._apply_env()
         try:
+            if self.warm and self.warm_apps:
+                self._warm_database()
+            self._specs = [self._worker_spec(index) for index in range(self.workers)]
+            addresses = self._spawn_workers()
+            self._loop = asyncio.new_event_loop()
             self._loop.run_until_complete(self._connect_all(addresses))
         except BaseException:
             self.close()
             raise
+        self._send_locks = [asyncio.Lock() for _ in range(self.workers)]
+        self._sent_log = [[] for _ in range(self.workers)]
+        self._delivered = [[] for _ in range(self.workers)]
+        self._dead = [False] * self.workers
+        self._failures = [0] * self.workers
         self._started = True
         return self
+
+    def _apply_env(self) -> None:
+        """Export the codegen-cache override, remembering the prior value."""
+        if self.codegen_cache_path is None or self._env_applied:
+            return
+        self._prior_codegen_cache = os.environ.get("REPRO_CODEGEN_CACHE")
+        os.environ["REPRO_CODEGEN_CACHE"] = str(self.codegen_cache_path)
+        self._env_applied = True
+
+    def _restore_env(self) -> None:
+        if not self._env_applied:
+            return
+        if self._prior_codegen_cache is None:
+            os.environ.pop("REPRO_CODEGEN_CACHE", None)
+        else:
+            os.environ["REPRO_CODEGEN_CACHE"] = self._prior_codegen_cache
+        self._env_applied = False
 
     def _warm_database(self) -> None:
         """Calibrate every warm application once into the shared tuning DB."""
@@ -245,11 +405,24 @@ class PerforationFleet:
             "puts": stats.puts,
         }
 
-    def _worker_spec(self, index: int) -> WorkerSpec:
+    def _worker_spec(self, index: int, generation: int = 0) -> WorkerSpec:
         if self.transport == "unix":
-            address: object = str(self.runtime_dir / f"worker-{index}.sock")
+            # A fresh socket path per generation: a crashed worker cannot
+            # unlink its socket (no cleanup runs), so respawns must not
+            # re-bind the stale path.
+            name = (
+                f"worker-{index}.sock"
+                if generation == 0
+                else f"worker-{index}.g{generation}.sock"
+            )
+            address: object = str(self.runtime_dir / name)
         else:
             address = ("127.0.0.1", 0)
+        chaos_fail = self.fail_after.get(index)
+        chaos_hang = self.hang_on
+        if generation > 0 and not self.chaos_persistent:
+            chaos_fail = None
+            chaos_hang = ()
         return WorkerSpec(
             index=index,
             address=address,
@@ -269,21 +442,29 @@ class PerforationFleet:
             cache_capacity=self.cache_capacity,
             monitor=self.monitor,
             strict=self.strict,
+            generation=generation,
+            fail_after=chaos_fail,
+            error_on=self.error_on,
+            hang_on=chaos_hang,
         )
 
-    def _spawn_workers(self) -> list:
+    def _spawn_one(self, spec: WorkerSpec):
         ctx = multiprocessing.get_context("spawn")
+        receiver, sender = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=worker_main,
+            args=(spec, sender),
+            name=f"repro-fleet-worker-{spec.index}",
+            daemon=True,
+        )
+        proc.start()
+        sender.close()
+        return proc, receiver
+
+    def _spawn_workers(self) -> list:
         readies = []
         for index in range(self.workers):
-            receiver, sender = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=worker_main,
-                args=(self._worker_spec(index), sender),
-                name=f"repro-fleet-worker-{index}",
-                daemon=True,
-            )
-            proc.start()
-            sender.close()
+            proc, receiver = self._spawn_one(self._specs[index])
             self._procs.append(proc)
             readies.append(receiver)
         addresses = []
@@ -327,9 +508,32 @@ class PerforationFleet:
                     ) from None
                 await asyncio.sleep(0.05)
         hello = await asyncio.wait_for(read_frame_async(reader), timeout=SPAWN_TIMEOUT_S)
+        if hello is not None and hello.get("type") == "error":
+            # The worker bound its socket but could not build its server;
+            # it reported why instead of saying hello.  Fail fast with the
+            # real cause rather than spinning out the spawn timeout.
+            writer.close()
+            raise FleetError(f"worker {index}: {hello.get('error', 'startup failed')}")
         if hello is None or hello.get("type") != "hello":
             raise FleetError(f"worker {index} did not say hello (got {hello!r})")
         return reader, writer, hello
+
+    def _retire_worker(self, index: int) -> None:
+        """Close a failed worker's transport and reap its process."""
+        if index < len(self._writers) and self._writers[index] is not None:
+            try:
+                self._writers[index].close()
+            except Exception:
+                pass
+        proc = self._procs[index] if index < len(self._procs) else None
+        if proc is None:
+            return
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2.0)
 
     # ------------------------------------------------------------------
     # Serving
@@ -337,10 +541,10 @@ class PerforationFleet:
     def serve_trace(self, trace: Iterable[ServeRequest]) -> list[ServeResponse]:
         """Serve a whole trace across the fleet (virtual arrival order).
 
-        Returns one response per request — served or explicitly rejected —
-        sorted by request id.  Accounting is exact:
-        ``metrics().completed + metrics().shed`` equals the number of
-        requests submitted so far.
+        Returns one response per request — served, explicitly rejected
+        (shed), or explicitly failed — sorted by request id.  Accounting
+        is exact: ``metrics().completed + metrics().shed +
+        metrics().failed`` equals the number of requests submitted so far.
         """
         ordered = sorted(trace, key=lambda r: (r.arrival_ms, r.request_id))
         if not ordered:
@@ -358,38 +562,190 @@ class PerforationFleet:
         wall_start = time.perf_counter()
         responses: dict[int, ServeResponse] = {}
         shed: list[ServeRequest] = []
+        #: wire id → original request, for the current trace only.
+        current_wire: dict[int, ServeRequest] = {}
         pending: list[set[int]] = [set() for _ in range(self.workers)]
         queues: list[asyncio.Queue] = [asyncio.Queue() for _ in range(self.workers)]
         drained = [asyncio.Event() for _ in range(self.workers)]
+        drain_seq_expected: list[int | None] = [None] * self.workers
         failures: list[str] = []
+
+        def fail_request(request: ServeRequest, reason: str) -> None:
+            if request.request_id in responses:
+                return
+            responses[request.request_id] = failed_response(request, reason)
+            self._failed_total += 1
+
+        def fail_pending(index: int, reason: str) -> None:
+            for wire_id in sorted(pending[index]):
+                fail_request(self._wire_to_request[wire_id], reason)
+            pending[index].clear()
+
+        def degrade(index: int) -> None:
+            """Out of respawn budget: fail the shard's work instead of hanging."""
+            self._dead[index] = True
+            fail_pending(index, "worker-failure")
+
+        def record(index: int, wires: list) -> None:
+            for wire in wires:
+                response = response_from_wire(wire)
+                wire_id = response.request_id
+                pending[index].discard(wire_id)
+                original = current_wire.get(wire_id)
+                if original is None:
+                    # A replayed worker re-delivering an earlier trace's
+                    # response (bit-identical to what was already returned).
+                    continue
+                response = replace(response, request_id=original.request_id)
+                existing = responses.get(original.request_id)
+                if existing is None:
+                    responses[original.request_id] = response
+                    self._delivered[index].append(
+                        (replace(response, output=None), original.error_budget)
+                    )
+                elif not existing.rejected:
+                    # Replay re-delivery of a response this trace already
+                    # saw; identical by construction, so overwriting is a
+                    # no-op in value terms.
+                    responses[original.request_id] = response
+
+        def frame_for(entry: tuple) -> dict:
+            kind, payload = entry
+            if kind == _SERVE:
+                return {"type": "serve", "request": request_to_wire(payload)}
+            now_ms, seq = payload
+            return {"type": "drain", "now_ms": now_ms, "seq": seq}
+
+        async def respawn(index: int) -> None:
+            """One respawn attempt; raises if the new worker fails too."""
+            generation = self._failures[index]
+            spec = self._worker_spec(index, generation=generation)
+            self._specs[index] = spec
+            proc, receiver = self._spawn_one(spec)
+            self._procs[index] = proc
+            try:
+                deadline = time.monotonic() + SPAWN_TIMEOUT_S
+                while not receiver.poll(0):
+                    if time.monotonic() > deadline:
+                        raise FleetError(
+                            f"respawned worker {index} (generation {generation}) "
+                            "did not report its address"
+                        )
+                    await asyncio.sleep(0.02)
+                address = receiver.recv()
+            except (EOFError, OSError):
+                raise FleetError(
+                    f"respawned worker {index} (generation {generation}) died "
+                    "before reporting its address"
+                ) from None
+            finally:
+                receiver.close()
+            reader, writer, hello = await self._connect_one(index, address)
+            self._readers[index] = reader
+            self._writers[index] = writer
+            self.respawn_reports.append(hello)
+
+        async def recover(index: int, reason: str) -> bool:
+            """Respawn-and-replay worker ``index``; False = shard degraded."""
+            async with self._send_locks[index]:
+                if self._dead[index]:
+                    return False
+                self._retire_worker(index)
+                while True:
+                    self._failures[index] += 1
+                    self._worker_failures_total += 1
+                    attempt = self._failures[index]
+                    if not self.replay or attempt > self.max_respawns:
+                        degrade(index)
+                        return False
+                    await asyncio.sleep(
+                        min(RESPAWN_BACKOFF_S * 2 ** (attempt - 1), RESPAWN_BACKOFF_MAX_S)
+                    )
+                    try:
+                        await respawn(index)
+                        recovered = len(pending[index])
+                        for entry in self._sent_log[index]:
+                            await write_frame_async(
+                                self._writers[index], frame_for(entry)
+                            )
+                    except Exception:
+                        # The replacement failed to start or died during
+                        # replay; that is the slot's next failure.
+                        self._retire_worker(index)
+                        continue
+                    self._replayed_total += recovered
+                    return True
 
         async def sender(index: int) -> None:
             while True:
-                frame = await queues[index].get()
-                if frame is None:
+                item = await queues[index].get()
+                if item is None:
                     return
-                await write_frame_async(self._writers[index], frame)
+                async with self._send_locks[index]:
+                    if self._dead[index]:
+                        continue  # recovery already failed this shard's work
+                    self._sent_log[index].append(item)
+                    try:
+                        await write_frame_async(self._writers[index], frame_for(item))
+                    except Exception:
+                        # The connection died mid-write.  The entry is in
+                        # the log, so reader-driven recovery replays it —
+                        # retrying here would deliver it twice.
+                        pass
 
         async def reader(index: int) -> None:
             try:
                 while True:
-                    frame = await read_frame_async(self._readers[index])
+                    expecting = bool(pending[index]) or drain_seq_expected[index] is not None
+                    try:
+                        if self.request_timeout_s is not None:
+                            frame = await asyncio.wait_for(
+                                read_frame_async(self._readers[index]),
+                                timeout=self.request_timeout_s,
+                            )
+                        else:
+                            frame = await read_frame_async(self._readers[index])
+                    except asyncio.TimeoutError:
+                        if not expecting:
+                            continue  # idle silence is fine; re-arm
+                        if await recover(
+                            index,
+                            f"no frame within {self.request_timeout_s:g}s "
+                            f"with {len(pending[index])} outstanding",
+                        ):
+                            continue
+                        return
+                    except Exception as exc:
+                        if await recover(index, f"{type(exc).__name__}: {exc}"):
+                            continue
+                        return
                     if frame is None:
-                        failures.append(f"worker {index} closed its connection mid-trace")
+                        if await recover(index, "connection closed mid-trace"):
+                            continue
                         return
                     kind = frame.get("type")
+                    if kind == "error":
+                        wire_id = frame.get("request_id")
+                        if wire_id is not None:
+                            pending[index].discard(int(wire_id))
+                            original = current_wire.get(int(wire_id))
+                            if original is not None:
+                                fail_request(original, "worker-error")
+                            continue  # request-scoped: the trace goes on
+                        if await recover(index, str(frame.get("error"))):
+                            continue
+                        return
                     if kind not in ("completed", "drained"):
-                        detail = frame.get("error", f"unexpected {kind!r} frame")
-                        failures.append(f"worker {index}: {detail}")
+                        if await recover(index, f"unexpected {kind!r} frame"):
+                            continue
                         return
-                    for wire in frame["responses"]:
-                        response = response_from_wire(wire)
-                        responses[response.request_id] = response
-                        pending[index].discard(response.request_id)
+                    record(index, frame.get("responses", []))
                     if kind == "drained":
-                        return
+                        if frame.get("seq") == drain_seq_expected[index]:
+                            return
+                        # A replayed historical drain's echo — absorb it.
             except Exception as exc:
-                failures.append(f"worker {index}: {type(exc).__name__}: {exc}")
+                failures.append(f"worker {index} reader: {type(exc).__name__}: {exc}")
             finally:
                 drained[index].set()
 
@@ -401,18 +757,28 @@ class PerforationFleet:
             # One event-loop pass so the readers can retire responses the
             # workers already produced — pending reflects delivered state.
             await asyncio.sleep(0)
+            if self._dead[target]:
+                fail_request(request, "shard-degraded")
+                continue
             if len(pending[target]) >= self.max_pending:
                 shed.append(request)
                 continue
-            pending[target].add(request.request_id)
-            await queues[target].put({"type": "serve", "request": request_to_wire(request)})
+            wire_id = self._wire_seq
+            self._wire_seq += 1
+            self._wire_to_request[wire_id] = request
+            current_wire[wire_id] = request
+            pending[target].add(wire_id)
+            await queues[target].put((_SERVE, replace(request, request_id=wire_id)))
 
         # Drain at the last *global* arrival — exactly the virtual time
         # PerforationServer.run_trace drains at, which is what keeps batch
         # deadline stamps (and therefore outputs) bit-identical.
         last_arrival = ordered[-1].arrival_ms
         for index in range(self.workers):
-            await queues[index].put({"type": "drain", "now_ms": last_arrival})
+            if not self._dead[index]:
+                self._drain_seq += 1
+                drain_seq_expected[index] = self._drain_seq
+                await queues[index].put((_DRAIN, (last_arrival, self._drain_seq)))
             await queues[index].put(None)
 
         await asyncio.gather(*(event.wait() for event in drained))
@@ -421,10 +787,16 @@ class PerforationFleet:
         ):
             if isinstance(result, BaseException):
                 failures.append(f"fleet io task {index}: {result}")
+        # Defensive: a reader that returned with work still outstanding
+        # (it cannot, short of a worker-side protocol bug) must not cost
+        # the caller a response — fail the stragglers explicitly.
+        for index in range(self.workers):
+            if pending[index]:
+                fail_pending(index, "worker-failure")
         if failures:
             raise FleetError("; ".join(failures))
 
-        self._fleet_wall = time.perf_counter() - wall_start
+        self._fleet_wall = (self._fleet_wall or 0.0) + (time.perf_counter() - wall_start)
         self._shed_total += len(shed)
         results = [rejected_response(request) for request in shed]
         results.extend(responses.values())
@@ -434,14 +806,42 @@ class PerforationFleet:
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def _reconstructed_metrics(self, index: int) -> ServeMetrics:
+        """A degraded shard cannot report; rebuild its metrics from the
+        responses it delivered before dying, so fleet-level accounting
+        stays exact even after a permanent worker loss."""
+        metrics = ServeMetrics()
+        batches: dict[tuple, int] = {}
+        for response, budget in self._delivered[index]:
+            metrics.record_response(response, budget)
+            key = (response.app, response.config_label, response.completed_ms)
+            batches.setdefault(key, response.batch_size)
+        for size in batches.values():
+            metrics.record_batch(size)
+        return metrics
+
     def worker_metrics(self) -> list[dict]:
-        """Per-worker ``{"metrics": ..., "controller": ...}`` snapshots."""
+        """Per-worker ``{"metrics": ..., "controller": ...}`` snapshots.
+
+        Degraded (permanently failed) shards report metrics reconstructed
+        from their delivered responses, with ``"controller": None`` and
+        ``"dead": True``.
+        """
         self.start()
         return self._run(self._collect_metrics())
 
     async def _collect_metrics(self) -> list[dict]:
         snapshots = []
         for index in range(self.workers):
+            if self._dead[index]:
+                snapshots.append(
+                    {
+                        "metrics": self._reconstructed_metrics(index).to_dict(),
+                        "controller": None,
+                        "dead": True,
+                    }
+                )
+                continue
             await write_frame_async(self._writers[index], {"type": "metrics"})
             frame = await asyncio.wait_for(
                 read_frame_async(self._readers[index]), timeout=SPAWN_TIMEOUT_S
@@ -455,11 +855,15 @@ class PerforationFleet:
 
     def metrics(self) -> ServeMetrics:
         """Fleet-level metrics: workers merged in index order (deterministic),
-        plus the front-end's shed count and the fleet wall clock."""
+        plus the front-end's shed/failed/recovery counters and the fleet
+        wall clock (accumulated across traces)."""
         merged = ServeMetrics()
         for snapshot in self.worker_metrics():
             merged.merge(ServeMetrics.from_dict(snapshot["metrics"]))
         merged.shed += self._shed_total
+        merged.failed += self._failed_total
+        merged.replayed += self._replayed_total
+        merged.worker_failures += self._worker_failures_total
         if self._fleet_wall is not None:
             merged.finish(self._fleet_wall)
         return merged
@@ -468,7 +872,8 @@ class PerforationFleet:
     # Shutdown
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the workers down, close the loop, remove the runtime dir."""
+        """Shut the workers down, close the loop, remove the runtime dir,
+        and restore the process environment."""
         if self._closed:
             return
         self._closed = True
@@ -480,16 +885,23 @@ class PerforationFleet:
             finally:
                 self._loop.close()
         for proc in self._procs:
-            proc.join(timeout=SHUTDOWN_TIMEOUT_S)
+            if self._started:
+                # A started fleet said shutdown above — give workers a
+                # moment to say bye; a partially-started one did not, so
+                # waiting would just time out.
+                proc.join(timeout=SHUTDOWN_TIMEOUT_S)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=SHUTDOWN_TIMEOUT_S)
         self._procs.clear()
         if self._owns_runtime_dir:
             shutil.rmtree(self.runtime_dir, ignore_errors=True)
+        self._restore_env()
 
     async def _shutdown(self) -> None:
         for index, writer in enumerate(self._writers):
+            if index < len(self._dead) and self._dead[index]:
+                continue  # already retired by recovery
             try:
                 await write_frame_async(writer, {"type": "shutdown"})
                 await asyncio.wait_for(

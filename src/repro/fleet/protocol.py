@@ -19,6 +19,16 @@ round-trip literals, so measured errors and virtual timestamps are exact
 too.  The protocol is for co-operating local processes spawned by the
 front-end — it is not hardened against adversarial peers beyond frame
 length and JSON well-formedness checks.
+
+Frame vocabulary (the ``type`` key): ``hello`` (worker warm-start report,
+including the worker's respawn ``generation``), ``serve``/``completed``,
+``drain``/``drained`` (drains carry a front-end ``seq`` tag the worker
+echoes, so replayed historical drains are distinguishable from the
+current trace's), ``metrics``, ``shutdown``/``bye``, and ``error``.
+Error frames come in two scopes — see :func:`error_frame`: with a
+``request_id`` they fail exactly one request and the trace continues;
+without one they are fatal for the worker and trigger the front-end's
+failure recovery (respawn and replay).
 """
 
 from __future__ import annotations
@@ -183,6 +193,20 @@ def response_from_wire(data: dict) -> ServeResponse:
         completed_ms=float(data.get("completed_ms", 0.0)),
         metadata=from_wire(data.get("metadata", {})),
     )
+
+
+def error_frame(message: str, request_id: int | None = None) -> dict:
+    """An ``error`` frame, request-scoped when ``request_id`` is given.
+
+    A request-scoped error fails exactly that request (the front-end
+    answers it with an explicit failed response and keeps the trace
+    going); an unscoped error is fatal for the worker that sent it and
+    triggers recovery (respawn and replay) on the front-end.
+    """
+    frame: dict = {"type": "error", "error": str(message)}
+    if request_id is not None:
+        frame["request_id"] = int(request_id)
+    return frame
 
 
 # ---------------------------------------------------------------------------

@@ -79,6 +79,9 @@ class ServeMetrics:
         self.fallbacks = 0
         self.cache_hits = 0
         self.shed = 0  # requests rejected by admission control (never served)
+        self.failed = 0  # requests failed by the fleet (worker loss, worker error)
+        self.worker_failures = 0  # fleet worker deaths (each respawn attempt counts)
+        self.replayed = 0  # outstanding requests recovered by respawn-and-replay
         self.batches = 0
         self.per_app: Counter[str] = Counter()
         self.per_config: Counter[str] = Counter()
@@ -122,6 +125,15 @@ class ServeMetrics:
     def record_shed(self) -> None:
         """A request rejected by admission control (not counted as completed)."""
         self.shed += 1
+
+    def record_failed(self) -> None:
+        """A request failed by the fleet (worker loss or a request-scoped error).
+
+        Failed requests, like shed ones, are never counted as completed;
+        the fleet's exact accounting invariant is
+        ``completed + shed + failed == len(trace)``.
+        """
+        self.failed += 1
 
     def finish(self, wall_time_s: float) -> None:
         self.wall_time_s = wall_time_s
@@ -168,6 +180,9 @@ class ServeMetrics:
             "fallbacks": self.fallbacks,
             "cache_hits": self.cache_hits,
             "shed": self.shed,
+            "failed": self.failed,
+            "worker_failures": self.worker_failures,
+            "replayed": self.replayed,
             "batches": self.batches,
             "per_app": dict(sorted(self.per_app.items())),
             "per_config": dict(sorted(self.per_config.items())),
@@ -189,6 +204,9 @@ class ServeMetrics:
         metrics.fallbacks = int(data.get("fallbacks", 0))
         metrics.cache_hits = int(data.get("cache_hits", 0))
         metrics.shed = int(data.get("shed", 0))
+        metrics.failed = int(data.get("failed", 0))
+        metrics.worker_failures = int(data.get("worker_failures", 0))
+        metrics.replayed = int(data.get("replayed", 0))
         metrics.batches = int(data.get("batches", 0))
         metrics.per_app = Counter({str(k): int(v) for k, v in data.get("per_app", {}).items()})
         metrics.per_config = Counter(
@@ -221,6 +239,9 @@ class ServeMetrics:
         self.fallbacks += other.fallbacks
         self.cache_hits += other.cache_hits
         self.shed += other.shed
+        self.failed += other.failed
+        self.worker_failures += other.worker_failures
+        self.replayed += other.replayed
         self.batches += other.batches
         self.per_app.update(other.per_app)
         self.per_config.update(other.per_config)
@@ -249,6 +270,7 @@ class ServeMetrics:
             "fallbacks": self.fallbacks,
             "cache_hits": self.cache_hits,
             "shed": self.shed,
+            "failed": self.failed,
             "batches": self.batches,
             "per_app": dict(sorted(self.per_app.items())),
             "per_config": dict(sorted(self.per_config.items())),
@@ -276,6 +298,11 @@ class ServeMetrics:
         )
         if self.shed:
             lines.append(f"admission: {self.shed} requests shed (load control)")
+        if self.worker_failures or self.replayed or self.failed:
+            lines.append(
+                f"resilience: {self.worker_failures} worker failures, "
+                f"{self.replayed} requests replayed, {self.failed} failed"
+            )
         lines.append(f"cache: {self.cache_hits} hits ({self.cache_hit_rate:.1%} of requests)")
         selections = ", ".join(
             f"{label}={count}" for label, count in sorted(self.per_config.items())

@@ -85,8 +85,9 @@ class ServeResponse:
     #: Whether the served output honours the request's error budget
     #: (vacuously true when monitoring is off; false for rejected requests).
     within_budget: bool
-    #: True when the request was load-shed by admission control (fleet
-    #: front-end): it never executed and carries no output.
+    #: True when the request never executed and carries no output: either
+    #: load-shed by admission control or failed by the fleet (worker loss,
+    #: request-scoped worker error) — ``metadata["reason"]`` says which.
     rejected: bool = False
     #: True when the approximate output violated the budget and the server
     #: substituted the accurate output (strict mode).

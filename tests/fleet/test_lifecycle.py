@@ -1,0 +1,127 @@
+"""Fleet lifecycle regressions: environment hygiene, partial-startup
+teardown, and metrics consistency across repeated traces.
+
+The environment tests monkeypatch the spawn/connect path away so they run
+without any worker processes (fast tier); the teardown and multi-trace
+tests spawn real workers (slow tier).
+"""
+
+import os
+
+import pytest
+
+from repro.data import generate_image
+from repro.fleet import FleetError, PerforationFleet
+from repro.fleet.frontend import PerforationFleet as FrontendFleet
+from repro.serve import TraceSpec, generate_trace
+
+
+def _start_without_workers(monkeypatch, fleet):
+    """Run start() with the process machinery stubbed out."""
+
+    async def no_connect(self, addresses):
+        return None
+
+    monkeypatch.setattr(FrontendFleet, "_spawn_workers", lambda self: [])
+    monkeypatch.setattr(FrontendFleet, "_connect_all", no_connect)
+    fleet.start()
+
+
+class TestEnvironmentRestored:
+    def test_codegen_cache_override_is_restored_on_close(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CODEGEN_CACHE", "/prior/cache")
+        fleet = PerforationFleet(workers=1, codegen_cache=tmp_path / "cache")
+        _start_without_workers(monkeypatch, fleet)
+        assert os.environ["REPRO_CODEGEN_CACHE"] == str(tmp_path / "cache")
+        fleet.close()
+        assert os.environ["REPRO_CODEGEN_CACHE"] == "/prior/cache"
+
+    def test_codegen_cache_removed_when_previously_unset(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CODEGEN_CACHE", raising=False)
+        fleet = PerforationFleet(workers=1, codegen_cache=tmp_path / "cache")
+        _start_without_workers(monkeypatch, fleet)
+        assert os.environ["REPRO_CODEGEN_CACHE"] == str(tmp_path / "cache")
+        fleet.close()
+        assert "REPRO_CODEGEN_CACHE" not in os.environ
+
+    def test_no_override_means_no_env_mutation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CODEGEN_CACHE", raising=False)
+        fleet = PerforationFleet(workers=1)
+        _start_without_workers(monkeypatch, fleet)
+        assert "REPRO_CODEGEN_CACHE" not in os.environ
+        fleet.close()
+        assert "REPRO_CODEGEN_CACHE" not in os.environ
+
+
+@pytest.mark.slow
+class TestPartialStartupTeardown:
+    def test_spawn_failure_terminates_already_spawned_workers(
+        self, monkeypatch, tmp_path
+    ):
+        """Worker 1's socket path is squatted by a regular file, so its
+        bind fails after worker 0 already spawned; start() must tear the
+        survivor down rather than leak it."""
+        runtime = tmp_path / "rt"
+        runtime.mkdir()
+        (runtime / "worker-1.sock").write_text("squatter")
+
+        captured = {}
+        original = FrontendFleet._spawn_workers
+
+        def spy(self):
+            try:
+                return original(self)
+            finally:
+                captured["procs"] = list(self._procs)
+
+        monkeypatch.setattr(FrontendFleet, "_spawn_workers", spy)
+        fleet = PerforationFleet(workers=2, runtime_dir=runtime)
+        with pytest.raises(FleetError):
+            fleet.start()
+
+        assert captured["procs"]  # worker 0 really was spawned
+        for proc in captured["procs"]:
+            assert not proc.is_alive()
+        assert fleet._procs == []
+
+    def test_owned_runtime_dir_removed_on_startup_failure(self, monkeypatch):
+        """The private repro-fleet-* temp dir must not leak when start()
+        fails before any worker exists."""
+
+        def boom(self):
+            raise FleetError("injected spawn failure")
+
+        monkeypatch.setattr(FrontendFleet, "_spawn_workers", boom)
+        fleet = PerforationFleet(workers=1)
+        runtime_dir = fleet.runtime_dir
+        assert runtime_dir.exists()
+        with pytest.raises(FleetError, match="injected spawn failure"):
+            fleet.start()
+        assert not runtime_dir.exists()
+
+
+@pytest.mark.slow
+class TestRepeatedTraces:
+    def test_metrics_consistent_across_repeated_traces(self):
+        """Wall time accumulates with shed/completed counts, so the
+        throughput of a multi-trace fleet divides totals by the total
+        wall — not by the last trace's."""
+        spec = TraceSpec(
+            apps=("gaussian",), requests=6, size=32, inputs_per_app=2, seed=5
+        )
+        trace = generate_trace(spec)
+        calibration = {"gaussian": [generate_image("natural", size=32, seed=77)]}
+        with PerforationFleet(
+            workers=1, max_batch=4, calibration_inputs=calibration
+        ) as fleet:
+            fleet.serve_trace(trace)
+            first = fleet.metrics()
+            fleet.serve_trace(trace)
+            second = fleet.metrics()
+
+        assert first.completed == len(trace)
+        assert second.completed == 2 * len(trace)
+        assert first.wall_time_s is not None and second.wall_time_s is not None
+        assert second.wall_time_s > first.wall_time_s  # accumulates, not overwrites
+        assert second.shed == 0 and second.failed == 0
+        assert second.completed + second.shed + second.failed == 2 * len(trace)

@@ -132,6 +132,45 @@ class TestServeMetrics:
         assert metrics.deterministic_snapshot()["shed"] == 2
         assert "2 requests shed" in metrics.describe()
 
+    def test_resilience_counters(self):
+        import json
+
+        metrics = ServeMetrics()
+        metrics.record_failed()
+        metrics.record_failed()
+        metrics.worker_failures = 1
+        metrics.replayed = 3
+        assert metrics.failed == 2
+        assert metrics.completed == 0  # failed requests are never completed
+        assert metrics.deterministic_snapshot()["failed"] == 2
+        assert (
+            "resilience: 1 worker failures, 3 requests replayed, 2 failed"
+            in metrics.describe()
+        )
+
+        rebuilt = ServeMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+        assert rebuilt.failed == 2
+        assert rebuilt.worker_failures == 1
+        assert rebuilt.replayed == 3
+
+        other = ServeMetrics()
+        other.record_failed()
+        other.worker_failures = 2
+        other.replayed = 1
+        metrics.merge(other)
+        assert metrics.failed == 3
+        assert metrics.worker_failures == 3
+        assert metrics.replayed == 4
+
+    def test_resilience_counters_absent_in_clean_runs(self):
+        # Pre-fleet snapshots lack the keys entirely; clean runs omit the
+        # describe() line.
+        legacy = ServeMetrics.from_dict({"completed": 1})
+        assert legacy.failed == 0
+        assert legacy.worker_failures == 0
+        assert legacy.replayed == 0
+        assert "resilience" not in ServeMetrics().describe()
+
 
 def _populated_metrics(offset=0, wall=0.5):
     metrics = ServeMetrics()
