@@ -87,7 +87,9 @@ class PerforationEngine:
         (``"interpreter"``, ``"vectorized"``, ``"codegen"``), an
         :class:`~repro.clsim.backends.ExecutionBackend` instance, or
         ``None`` for the default interpreter backend.  Sessions can
-        override it per session.
+        override it per session.  The compiled backends share one lowering
+        pipeline (see ``docs/backends.md`` and ``docs/ir.md``), so outputs
+        and stats are bit-identical across all three.
     """
 
     def __init__(
@@ -358,8 +360,10 @@ class PerforationEngine:
 
         All inputs must have the same global size; the kernel is perforated
         and compiled once, and on a backend that supports batching (the
-        vectorized backend) every work group executes the stacked lanes of
-        all requests together — the serving subsystem's fast path.  Outputs
+        vectorized and codegen backends) every work group executes the
+        stacked lanes of all requests together via the batching transform
+        (:mod:`repro.kernellang.passes.batching`) — the serving
+        subsystem's fast path.  Outputs
         are bit-identical to per-input :meth:`run_compiled` calls, and the
         stats (with ``with_stats=True``) equal the sum of the individual
         launches' stats.

@@ -19,6 +19,13 @@ work group to an :class:`ExecutionBackend`:
   and cached process-wide and on disk (:mod:`repro.api.artifacts`) — the
   same conformance contract, ~2-3x faster again on repeated launches.
 
+Both compiled backends are consumers of the shared pass pipeline in
+:mod:`repro.kernellang.passes` (uniformity analysis, mask insertion,
+memory views, batching transform — see ``docs/ir.md``): the vectorized
+backend runs the passes dynamically per work group, the codegen backend
+prints them into the specialized source, which is why their outputs can
+only agree bit for bit.
+
 Backends are resolvable by name through a string-keyed registry, mirroring
 the application/device/scheme registries of the session API:
 

@@ -2,13 +2,21 @@
 
 The package provides the front end (lexer, parser, type checker), an AST
 interpreter that executes kernels on the :mod:`repro.clsim` simulator, a
-code generator that emits OpenCL C, static analyses (stencil access
-patterns, data reuse, traffic/operation counting) and the compiler passes
-that implement the paper's transformation: local-memory prefetch,
-perforation and reconstruction.
+code generator that emits OpenCL C (:mod:`~repro.kernellang.clgen`),
+static analyses (stencil access patterns, data reuse, traffic/operation
+counting) and the compiler passes that implement the paper's
+transformation: local-memory prefetch, perforation and reconstruction.
+
+Execution backends share one typed lowering core: the kernel IR
+(:mod:`~repro.kernellang.ir`) and the pass pipeline
+(:mod:`~repro.kernellang.passes` — uniformity analysis, mask insertion,
+memory views, batching transform), consumed dynamically by the vectorized
+backend (:mod:`~repro.kernellang.vectorize`) and as a source printer by
+the codegen backend (:mod:`~repro.kernellang.codegen`).  See
+``docs/ir.md`` for the pass contracts.
 """
 
-from . import ast
+from . import ast, ir, passes
 from .builtins import builtin_names, get_builtin, is_builtin
 from .clgen import CodeGenerator, generate
 from .codegen import CodegenKernel, LoweringError, codegen_kernel, lower_kernel
@@ -69,6 +77,8 @@ __all__ = [
     "VOID",
     "ast",
     "builtin_names",
+    "ir",
+    "passes",
     "check_program",
     "compile_kernel",
     "generate",

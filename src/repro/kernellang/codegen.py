@@ -9,28 +9,37 @@ interpretive overhead the way array-DSL compilers do: it lowers each
 Python source built from batched NumPy operations, compiles it with
 ``compile()``/``exec()`` and runs the resulting function per work group.
 
-The lowering is a partial evaluation of the vectorized backend:
+The lowering is a pretty-printer over the shared pass pipeline
+(:mod:`repro.kernellang.passes` — see ``docs/ir.md``):
 
-* a **uniformity analysis** classifies every variable as *uniform* (same
-  value in every lane: literals, scalar kernel arguments, ``get_group_id``
-  / size queries, and anything computed only from those) or *varying*
-  (per-lane).  Uniform values become plain Python scalars — their
-  arithmetic follows the scalar interpreter exactly — and uniform-trip-count
-  loops become plain Python loops with no mask machinery at all;
+* the **uniformity analysis**
+  (:class:`~repro.kernellang.passes.uniformity.UniformityAnalysis`, which
+  this module's emitter subclasses) classifies every variable as *uniform*
+  (same value in every lane: literals, scalar kernel arguments,
+  ``get_group_id`` / size queries, and anything computed only from those)
+  or *varying* (per-lane).  Uniform values become plain Python scalars —
+  their arithmetic follows the scalar interpreter exactly — and
+  uniform-trip-count loops become plain Python loops with no mask
+  machinery at all;
 * varying values are ``(lanes,)`` ``int64``/``float64`` arrays exactly as
   in the vectorized backend; divergent ``if``/``for``/``while``/``do-while``
-  (including ``break``/``continue``/``return``) are emitted as the same
-  per-lane mask algebra :class:`~repro.kernellang.vectorize.VectorizedKernel`
-  performs dynamically, so outputs, error behaviour and
+  (including ``break``/``continue``/``return``) are emitted as the
+  **mask-insertion pass** (:mod:`repro.kernellang.passes.masking`) — the
+  same algebra :class:`~repro.kernellang.vectorize.VectorizedKernel` runs
+  dynamically, and the generated source calls back into the very same
+  merge/arithmetic kernels by name, so outputs, error behaviour and
   :class:`~repro.clsim.executor.ExecutionStats` counters stay bit-identical;
-* global buffers / local tiles / private arrays become masked gather /
-  scatter container objects with fast unmasked paths for statically
-  full-mask code, recording exactly one access per active lane;
+* global buffers / local tiles / private arrays become the shared memory
+  views (:mod:`repro.kernellang.passes.memory`), with fast unmasked entry
+  points selected statically for full-mask code, recording exactly one
+  access per active lane;
 * helper functions are inlined at the call site (straight-line helpers
   keep uniformity; anything with control flow is inlined in masked form);
 * the work-group shape is baked in (``get_local_size`` folds to a
   constant), and a separate variant is lowered for batched launches whose
-  containers route every lane into its own request segment.
+  containers are the **batching transform**'s segmented views
+  (:mod:`repro.kernellang.passes.batching`), routing every lane into its
+  own request segment.
 
 Lowered sources are cached three deep: per :class:`~repro.clsim.kernel.Kernel`
 object, process-wide by content key (``_FN_MEMO``), and on disk through
@@ -51,20 +60,48 @@ import numpy as np
 
 from ..clsim.errors import BarrierDivergenceError
 from ..clsim.kernel import Kernel, KernelContext
-from ..clsim.memory import Buffer, SegmentedBuffer
+from ..clsim.memory import Buffer
 from . import ast
 from .builtins import (
     BUILTIN_CONSTANTS,
     CONTEXT_BUILTINS,
     SYNC_BUILTINS,
-    get_builtin,
     is_builtin,
 )
 from .clgen import generate as clgen_generate
-from .errors import InterpreterError, KernelLangError
+from .errors import InterpreterError
 from .interpreter import KernelInterpreter, _ConstantArray
+from .ir import (
+    BUILTIN_RESULT_DT,
+    CONTEXT_FIELDS,
+    LoweringError,
+    Scope,
+    ScopeView,
+    Value,
+    join_kind,
+    promote_dt,
+)
+from .passes.batching import SegLocalView, lane_requests, segmented_global_view
+from .passes.masking import (
+    VECTOR_BUILTINS,
+    FnFlow,
+    VectorFallback,
+    builtin_impl,
+    decl_scalar,
+    full_assign,
+    int_truncate,
+    masked_assign,
+    merge_parts,
+    uniform_assign,
+    uniform_call,
+    uniform_div,
+    uniform_mod,
+    varying_div,
+    varying_mod,
+)
+from .passes.memory import ConstantView, GlobalView, LocalView, PrivateView
+from .passes.uniformity import UniformityAnalysis
 from .types import PointerType, ScalarType
-from .vectorize import _VECTOR_BUILTINS, _scalar_map
 
 _INT = np.int64
 _FLOAT = np.float64
@@ -73,504 +110,19 @@ _FLOAT = np.float64
 #: on-disk artifact (stale entries simply miss).
 CODEGEN_FORMAT_VERSION = 2
 
-
-class LoweringError(KernelLangError):
-    """The codegen backend cannot specialize this program.
-
-    Raised at lowering time, never mid-execution: the caller can always
-    fall back to the vectorized backend before any lane has run.
-    """
+__all__ = [
+    "CODEGEN_FORMAT_VERSION",
+    "CodegenKernel",
+    "LoweringError",
+    "artifact_key",
+    "codegen_kernel",
+    "lower_kernel",
+]
 
 
 # ---------------------------------------------------------------------------
-# Runtime containers referenced by the generated source
+# Runtime namespace of the generated source
 # ---------------------------------------------------------------------------
-def _oob(what: str, index: int, length: int) -> None:
-    raise InterpreterError(f"{what}: index {index} out of bounds [0, {length})")
-
-
-def _check_full(what: str, idx: np.ndarray, length: int) -> None:
-    if int(idx.min()) < 0 or int(idx.max()) >= length:
-        bad = idx[(idx < 0) | (idx >= length)]
-        _oob(what, int(bad[0]), length)
-
-
-def _check_masked(what: str, idx: np.ndarray, mask: np.ndarray, length: int) -> None:
-    bad = mask & ((idx < 0) | (idx >= length))
-    if np.any(bad):
-        _oob(what, int(idx[bad][0]), length)
-
-
-def _last(value):
-    """Scalar written by a full-mask store to one shared address (last lane wins)."""
-    return float(value[-1]) if np.ndim(value) else value
-
-
-def _bval(value, mask):
-    """Masked-store RHS: gather the active lanes (scalars broadcast as-is)."""
-    return np.asarray(value, dtype=_FLOAT)[mask] if np.ndim(value) else value
-
-
-class _CGlobal:
-    """Flat view of a global :class:`Buffer` with full/masked/uniform paths."""
-
-    __slots__ = ("buffer", "flat", "n", "what")
-
-    def __init__(self, buffer: Buffer) -> None:
-        self.buffer = buffer
-        self.flat = buffer.array.reshape(-1)
-        self.n = self.flat.size
-        self.what = f"global buffer {buffer.name!r}"
-
-    def loadf(self, idx: np.ndarray) -> np.ndarray:
-        _check_full(self.what, idx, self.n)
-        self.buffer.record_reads(idx.shape[0])
-        return self.flat[idx].astype(_FLOAT)
-
-    def loadm(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_masked(self.what, idx, mask, self.n)
-        self.buffer.record_reads(int(mask.sum()))
-        return self.flat[np.where(mask, idx, 0)].astype(_FLOAT)
-
-    def loadu(self, idx: int, lanes: int) -> float:
-        if not 0 <= idx < self.n:
-            _oob(self.what, idx, self.n)
-        self.buffer.record_reads(lanes)
-        return float(self.flat[idx])
-
-    def loadum(self, idx: int, mask: np.ndarray) -> float:
-        count = int(mask.sum())
-        if count:
-            if not 0 <= idx < self.n:
-                _oob(self.what, idx, self.n)
-            self.buffer.record_reads(count)
-            return float(self.flat[idx])
-        return 0.0
-
-    def storef(self, idx: np.ndarray, value) -> None:
-        _check_full(self.what, idx, self.n)
-        self.buffer.record_writes(idx.shape[0])
-        self.flat[idx] = np.asarray(value, dtype=_FLOAT)
-
-    def storem(self, idx: np.ndarray, value, mask: np.ndarray) -> None:
-        _check_masked(self.what, idx, mask, self.n)
-        self.buffer.record_writes(int(mask.sum()))
-        self.flat[idx[mask]] = _bval(value, mask)
-
-    def storeu(self, idx: int, value, lanes: int) -> None:
-        if not 0 <= idx < self.n:
-            _oob(self.what, idx, self.n)
-        self.buffer.record_writes(lanes)
-        self.flat[idx] = _last(value)
-
-    def storeum(self, idx: int, value, mask: np.ndarray) -> None:
-        count = int(mask.sum())
-        if count:
-            if not 0 <= idx < self.n:
-                _oob(self.what, idx, self.n)
-            self.buffer.record_writes(count)
-            value = float(np.asarray(value, dtype=_FLOAT)[mask][-1]) if np.ndim(value) else value
-            self.flat[idx] = value
-
-
-class _CSegGlobal:
-    """Batched variant: every lane addresses its own request's segment.
-
-    The uniform-index entry points return per-lane *arrays* (the same
-    logical index reads a different segment per request), which is why the
-    batched lowering classifies every global access as varying.
-    """
-
-    __slots__ = ("buffer", "flat", "n", "base", "what")
-
-    def __init__(self, buffer: SegmentedBuffer, base: np.ndarray) -> None:
-        self.buffer = buffer
-        self.flat = buffer.array.reshape(-1)
-        self.n = buffer.segment_elements
-        self.base = base
-        self.what = f"global buffer {buffer.name!r}"
-
-    def loadf(self, idx) -> np.ndarray:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_full(self.what, idx, self.n)
-        self.buffer.record_reads(idx.shape[0])
-        return self.flat[idx + self.base].astype(_FLOAT)
-
-    def loadm(self, idx, mask: np.ndarray) -> np.ndarray:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_masked(self.what, idx, mask, self.n)
-        self.buffer.record_reads(int(mask.sum()))
-        return self.flat[np.where(mask, idx + self.base, 0)].astype(_FLOAT)
-
-    def storef(self, idx, value) -> None:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_full(self.what, idx, self.n)
-        self.buffer.record_writes(idx.shape[0])
-        self.flat[idx + self.base] = np.asarray(value, dtype=_FLOAT)
-
-    def storem(self, idx, value, mask: np.ndarray) -> None:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_masked(self.what, idx, mask, self.n)
-        self.buffer.record_writes(int(mask.sum()))
-        self.flat[(idx + self.base)[mask]] = _bval(value, mask)
-
-
-class _CLocal:
-    """A named tile in the work group's local memory."""
-
-    __slots__ = ("mem", "tile", "n", "what")
-
-    def __init__(self, mem, name: str, length: int) -> None:
-        self.mem = mem
-        self.tile = mem.allocate(name, (length,), dtype=_FLOAT)
-        self.n = length
-        self.what = f"local array {name!r}"
-
-    def loadf(self, idx: np.ndarray) -> np.ndarray:
-        _check_full(self.what, idx, self.n)
-        self.mem.record_reads(idx.shape[0])
-        return self.tile[idx].astype(_FLOAT)
-
-    def loadm(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_masked(self.what, idx, mask, self.n)
-        self.mem.record_reads(int(mask.sum()))
-        return self.tile[np.where(mask, idx, 0)].astype(_FLOAT)
-
-    def loadu(self, idx: int, lanes: int) -> float:
-        if not 0 <= idx < self.n:
-            _oob(self.what, idx, self.n)
-        self.mem.record_reads(lanes)
-        return float(self.tile[idx])
-
-    def loadum(self, idx: int, mask: np.ndarray) -> float:
-        count = int(mask.sum())
-        if count:
-            if not 0 <= idx < self.n:
-                _oob(self.what, idx, self.n)
-            self.mem.record_reads(count)
-            return float(self.tile[idx])
-        return 0.0
-
-    def storef(self, idx: np.ndarray, value) -> None:
-        _check_full(self.what, idx, self.n)
-        self.mem.record_writes(idx.shape[0])
-        self.tile[idx] = np.asarray(value, dtype=_FLOAT)
-
-    def storem(self, idx: np.ndarray, value, mask: np.ndarray) -> None:
-        _check_masked(self.what, idx, mask, self.n)
-        self.mem.record_writes(int(mask.sum()))
-        self.tile[idx[mask]] = _bval(value, mask)
-
-    def storeu(self, idx: int, value, lanes: int) -> None:
-        if not 0 <= idx < self.n:
-            _oob(self.what, idx, self.n)
-        self.mem.record_writes(lanes)
-        self.tile[idx] = _last(value)
-
-    def storeum(self, idx: int, value, mask: np.ndarray) -> None:
-        count = int(mask.sum())
-        if count:
-            if not 0 <= idx < self.n:
-                _oob(self.what, idx, self.n)
-            self.mem.record_writes(count)
-            value = float(np.asarray(value, dtype=_FLOAT)[mask][-1]) if np.ndim(value) else value
-            self.tile[idx] = value
-
-
-class _CSegLocal:
-    """Batched variant of :class:`_CLocal`: one tile per request, stacked."""
-
-    __slots__ = ("mem", "tile", "n", "base", "what")
-
-    def __init__(self, mem, name: str, length: int, base: np.ndarray, batch: int) -> None:
-        self.mem = mem
-        self.tile = mem.allocate(name, (batch * length,), dtype=_FLOAT)
-        self.n = length
-        self.base = base
-        self.what = f"local array {name!r}"
-
-    def loadf(self, idx) -> np.ndarray:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_full(self.what, idx, self.n)
-        self.mem.record_reads(idx.shape[0])
-        return self.tile[idx + self.base].astype(_FLOAT)
-
-    def loadm(self, idx, mask: np.ndarray) -> np.ndarray:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_masked(self.what, idx, mask, self.n)
-        self.mem.record_reads(int(mask.sum()))
-        return self.tile[np.where(mask, idx + self.base, 0)].astype(_FLOAT)
-
-    def storef(self, idx, value) -> None:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_full(self.what, idx, self.n)
-        self.mem.record_writes(idx.shape[0])
-        self.tile[idx + self.base] = np.asarray(value, dtype=_FLOAT)
-
-    def storem(self, idx, value, mask: np.ndarray) -> None:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.base.shape[0], int(idx), dtype=_INT)
-        _check_masked(self.what, idx, mask, self.n)
-        self.mem.record_writes(int(mask.sum()))
-        self.tile[(idx + self.base)[mask]] = _bval(value, mask)
-
-
-class _CPrivate:
-    """A fixed-size per-lane private array (``lanes x length``)."""
-
-    __slots__ = ("values", "n", "lane_idx", "what")
-
-    def __init__(self, name: str, length: int, lanes: int) -> None:
-        self.values = np.zeros((lanes, length), dtype=_FLOAT)
-        self.n = length
-        self.lane_idx = np.arange(lanes)
-        self.what = f"private array {name!r}"
-
-    def loadf(self, idx) -> np.ndarray:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            if not 0 <= int(idx) < self.n:
-                _oob(self.what, int(idx), self.n)
-            return self.values[:, int(idx)].copy()
-        _check_full(self.what, idx, self.n)
-        return self.values[self.lane_idx, idx]
-
-    def loadm(self, idx, mask: np.ndarray) -> np.ndarray:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.values.shape[0], int(idx), dtype=_INT)
-        _check_masked(self.what, idx, mask, self.n)
-        return self.values[self.lane_idx, np.where(mask, idx, 0)]
-
-    def storef(self, idx, value) -> None:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            if not 0 <= int(idx) < self.n:
-                _oob(self.what, int(idx), self.n)
-            self.values[:, int(idx)] = np.asarray(value, dtype=_FLOAT)
-            return
-        _check_full(self.what, idx, self.n)
-        self.values[self.lane_idx, idx] = np.asarray(value, dtype=_FLOAT)
-
-    def storem(self, idx, value, mask: np.ndarray) -> None:
-        idx = np.asarray(idx)
-        if idx.ndim == 0:
-            idx = np.full(self.values.shape[0], int(idx), dtype=_INT)
-        _check_masked(self.what, idx, mask, self.n)
-        self.values[self.lane_idx[mask], idx[mask]] = _bval(value, mask)
-
-
-class _CConstant:
-    """A file-scope ``__constant`` array (read-only, shared by all lanes)."""
-
-    __slots__ = ("values", "n", "what")
-
-    def __init__(self, name: str, values: np.ndarray) -> None:
-        self.values = values
-        self.n = values.size
-        self.what = f"constant array {name!r}"
-
-    def loadf(self, idx: np.ndarray) -> np.ndarray:
-        _check_full(self.what, idx, self.n)
-        return self.values[idx].astype(_FLOAT)
-
-    def loadm(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_masked(self.what, idx, mask, self.n)
-        return self.values[np.where(mask, idx, 0)].astype(_FLOAT)
-
-    def loadu(self, idx: int, lanes: int) -> float:
-        if not 0 <= idx < self.n:
-            _oob(self.what, idx, self.n)
-        return float(self.values[idx])
-
-    def loadum(self, idx: int, mask: np.ndarray) -> float:
-        if mask.any():
-            if not 0 <= idx < self.n:
-                _oob(self.what, idx, self.n)
-            return float(self.values[idx])
-        return 0.0
-
-    def _readonly(self, *args) -> None:
-        raise InterpreterError(f"{self.what} is read-only")
-
-    storef = storem = storeu = storeum = _readonly
-
-
-# ---------------------------------------------------------------------------
-# Runtime helpers referenced by the generated source
-# ---------------------------------------------------------------------------
-def _udiv(left, right):
-    """Uniform ``/`` with the scalar interpreter's exact semantics."""
-    if isinstance(left, int) and isinstance(right, int):
-        if right == 0:
-            raise InterpreterError("integer division by zero")
-        quotient = left // right
-        if left % right != 0 and (left < 0) != (right < 0):
-            quotient += 1
-        return quotient
-    if right == 0:
-        raise InterpreterError("division by zero")
-    return left / right
-
-
-def _umod(left, right):
-    """Uniform ``%`` with the scalar interpreter's exact semantics."""
-    import math
-
-    if right == 0:
-        raise InterpreterError("modulo by zero")
-    if isinstance(left, int) and isinstance(right, int):
-        return int(math.fmod(left, right))
-    return math.fmod(left, right)
-
-
-def _vdiv(left, right, mask):
-    """Varying ``/`` mirroring the vectorized backend bit for bit."""
-    left = np.asarray(left)
-    right = np.asarray(right)
-    int_int = left.dtype.kind in "iu" and right.dtype.kind in "iu"
-    if np.any(mask & (right == 0)):
-        if int_int:
-            raise InterpreterError("integer division by zero")
-        raise InterpreterError("division by zero")
-    if right.dtype.kind in "iu":
-        safe = np.where(right == 0, 1, right)
-    else:
-        safe = np.where(right == 0, 1.0, right)
-    if int_int:
-        quotient = np.floor_divide(left, safe)
-        remainder = left - quotient * safe
-        return quotient + ((remainder != 0) & ((left < 0) ^ (safe < 0)))
-    return left / safe
-
-
-def _vmod(left, right, mask):
-    """Varying ``%`` mirroring the vectorized backend bit for bit."""
-    left = np.asarray(left)
-    right = np.asarray(right)
-    if np.any(mask & (right == 0)):
-        raise InterpreterError("modulo by zero")
-    safe = np.where(right == 0, 1, right)
-    return np.fmod(left, safe)
-
-
-def _vtrunc(value):
-    """Varying store into an int-typed slot: truncate unless already int."""
-    value = np.asarray(value)
-    return value if value.dtype.kind in "iu" else value.astype(_INT)
-
-
-def _uassign(existing, value):
-    """Uniform assignment with the interpreter's dynamic int-truncation rule."""
-    if isinstance(existing, int) and isinstance(value, float):
-        return int(value)
-    return value
-
-
-def _afull(existing, value):
-    """Full-mask varying assignment with the dynamic int-truncation rule."""
-    value = np.asarray(value)
-    if existing.dtype.kind in "iu" and value.dtype.kind not in "iu":
-        return value.astype(_INT)
-    return value
-
-
-def _amask(existing, value, mask):
-    """Masked varying assignment, mirroring ``vectorize._store_scalar``."""
-    value = np.asarray(value)
-    if existing.dtype.kind in "iu" and value.dtype.kind not in "iu":
-        value = value.astype(_INT)
-    dtype = np.result_type(existing.dtype, value.dtype)
-    if existing.dtype.kind in "iu":
-        dtype = existing.dtype
-    merged = existing.astype(dtype)
-    merged[mask] = value.astype(dtype)[mask]
-    return merged
-
-
-def _decl_scalar(existing, value, mask):
-    """Scalar re-declaration under a divergent mask (vectorize semantics)."""
-    value = np.asarray(value)
-    if isinstance(existing, np.ndarray) and not mask.all():
-        return _amask(existing, value, mask)
-    return value
-
-
-def _merge_parts(lanes: int, parts):
-    """Merge the evaluated arms of a varying ternary (vectorize semantics)."""
-    dtype = np.result_type(*(np.asarray(v).dtype for _, v in parts))
-    result = np.zeros(lanes, dtype=dtype)
-    for mask, value in parts:
-        result[mask] = np.asarray(value, dtype=dtype)[mask]
-    return result
-
-
-class _FnFlow:
-    """Return-lane bookkeeping of one masked-inlined helper call."""
-
-    __slots__ = ("lanes", "returned", "value")
-
-    def __init__(self, lanes: int) -> None:
-        self.lanes = lanes
-        self.returned = np.zeros(lanes, dtype=bool)
-        self.value = None
-
-    def record(self, mask: np.ndarray, value) -> None:
-        self.returned = self.returned | mask
-        if value is None:
-            return
-        value = np.asarray(value)
-        if self.value is None:
-            self.value = np.zeros(self.lanes, dtype=_INT)
-        merged = self.value.astype(np.result_type(self.value.dtype, value.dtype))
-        merged[mask] = value.astype(merged.dtype)[mask]
-        self.value = merged
-
-    def result(self):
-        if self.value is None:
-            return np.zeros(self.lanes, dtype=_INT)
-        return self.value
-
-
-def _ucall(name: str, impl, *args):
-    """Uniform built-in call with the interpreter's error wrapping."""
-    try:
-        return impl(*args)
-    except Exception as exc:
-        raise InterpreterError(f"built-in {name!r} failed: {exc}") from exc
-
-
-class _VectorFallback:
-    """Per-active-lane scalar fallback for built-ins without a vector kernel."""
-
-    __slots__ = ("name", "apply")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.apply = _scalar_map(get_builtin(name).impl)
-
-    def __call__(self, mask, *args):
-        try:
-            return self.apply(mask, *args)
-        except Exception as exc:
-            raise InterpreterError(f"built-in {self.name!r} failed: {exc}") from exc
-
-
 def _exec_namespace() -> dict:
     """Globals dict the compiled artifact sources are executed in.
 
@@ -586,23 +138,23 @@ def _exec_namespace() -> dict:
         "_np": np,
         "_I": _INT,
         "_F": _FLOAT,
-        "_CPrivate": _CPrivate,
+        "_CPrivate": PrivateView,
         "_ONCE": (0,),
-        "_VB": _VECTOR_BUILTINS,
-        "_VF": _VectorFallback,
-        "_BI_IMPL": _BI_IMPL,
-        "_ucall": _ucall,
-        "_udiv": _udiv,
-        "_umod": _umod,
-        "_vdiv": _vdiv,
-        "_vmod": _vmod,
-        "_vtrunc": _vtrunc,
-        "_uassign": _uassign,
-        "_afull": _afull,
-        "_amask": _amask,
-        "_decl_scalar": _decl_scalar,
-        "_merge_parts": _merge_parts,
-        "_FnFlow": _FnFlow,
+        "_VB": VECTOR_BUILTINS,
+        "_VF": VectorFallback,
+        "_BI_IMPL": builtin_impl,
+        "_ucall": uniform_call,
+        "_udiv": uniform_div,
+        "_umod": uniform_mod,
+        "_vdiv": varying_div,
+        "_vmod": varying_mod,
+        "_vtrunc": int_truncate,
+        "_uassign": uniform_assign,
+        "_afull": full_assign,
+        "_amask": masked_assign,
+        "_decl_scalar": decl_scalar,
+        "_merge_parts": merge_parts,
+        "_FnFlow": FnFlow,
         "_IErr": InterpreterError,
         "_BDE": BarrierDivergenceError,
         "int": int,
@@ -613,11 +165,6 @@ def _exec_namespace() -> dict:
         "abs": abs,
         "round": round,
     }
-
-
-def _BI_IMPL(name: str):
-    """Resolve a built-in's scalar implementation (uniform call path)."""
-    return get_builtin(name).impl
 
 
 # ---------------------------------------------------------------------------
@@ -644,7 +191,7 @@ def _lid_arrays(local_size: tuple[int, ...], batch: int):
             inner *= local_size[lower]
         lid = np.tile(np.repeat(np.arange(local_size[dim], dtype=_INT), inner), group // (inner * local_size[dim]))
         lids.append(np.tile(lid, batch) if batch > 1 else lid)
-    lane_request = np.repeat(np.arange(batch, dtype=_INT), group)
+    lane_request = lane_requests(batch, group)
     result = (group, tuple(lids), lane_request)
     _LID_CACHE[key] = result
     return result
@@ -701,22 +248,15 @@ def _build_runtime(
                     f"pointer argument {param.name!r} must be bound to a Buffer"
                 )
             if batch is None:
-                rt.c[param.name] = _CGlobal(value)
+                rt.c[param.name] = GlobalView(value)
             else:
-                if not isinstance(value, SegmentedBuffer) or value.batch != batch:
-                    raise InterpreterError(
-                        f"batched launch requires every pointer argument to be a "
-                        f"SegmentedBuffer with {batch} segments, got {value!r}"
-                    )
-                rt.c[param.name] = _CSegGlobal(
-                    value, lane_request * value.segment_elements
-                )
+                rt.c[param.name] = segmented_global_view(value, batch, lane_request)
         else:
             rt.s[param.name] = value
     if batch is None:
-        rt.local = lambda name, length: _CLocal(ctx.local, name, length)
+        rt.local = lambda name, length: LocalView(ctx.local, name, length)
     else:
-        rt.local = lambda name, length: _CSegLocal(
+        rt.local = lambda name, length: SegLocalView(
             ctx.local, name, length, lane_request * length, batch
         )
     return rt
@@ -725,73 +265,8 @@ def _build_runtime(
 # ---------------------------------------------------------------------------
 # Lowering: AST -> specialized Python source
 # ---------------------------------------------------------------------------
-#: Result dtype class of each built-in under the interpreter's scalar
-#: semantics: 'p' promotes from the argument dtypes (min/max return an
-#: operand), 'f' always yields float, 'i' always yields int.
-_BUILTIN_DT = {
-    "min": "p", "max": "p", "fmin": "p", "fmax": "p", "clamp": "p",
-    "abs": "p", "fabs": "p", "mad": "p", "fma": "p", "mix": "p", "select": "p",
-    "sign": "f", "sqrt": "f", "rsqrt": "f", "exp": "f", "log": "f",
-    "pow": "f", "sin": "f", "cos": "f", "tan": "f", "native_divide": "f",
-    "hypot": "f",
-    "floor": "i", "ceil": "i", "round": "i",
-}
-
-_CONTEXT_DIMS = {
-    "get_global_id": "gid", "get_local_id": "lid", "get_group_id": "grp",
-    "get_global_size": "gsz", "get_local_size": "lsz", "get_num_groups": "ngrp",
-}
-
-
-class _V:
-    """A lowered expression: code string + static kind ('u'/'v') + dtype."""
-
-    __slots__ = ("code", "kind", "dt")
-
-    def __init__(self, code: str, kind: str, dt: str) -> None:
-        self.code = code
-        self.kind = kind
-        self.dt = dt
-
-
-class _Container:
-    """Marker value for identifiers naming a buffer/tile/array."""
-
-    __slots__ = ("py", "space")
-
-    def __init__(self, py: str, space: str) -> None:
-        self.py = py
-        self.space = space
-
-
-class _Scope:
-    """Per-function-body symbol table used by classification and emission."""
-
-    __slots__ = ("kind", "dt", "space", "py", "divdecl")
-
-    def __init__(self) -> None:
-        self.kind: dict[str, str] = {}
-        self.dt: dict[str, str] = {}
-        self.space: dict[str, str] = {}
-        self.py: dict[str, str] = {}
-        self.divdecl: set[str] = set()
-
-
-def _join_kind(*kinds: str) -> str:
-    return "v" if "v" in kinds else "u"
-
-
-def _promote_dt(*dts: str) -> str:
-    if "x" in dts:
-        return "x"
-    return "f" if "f" in dts else "i"
-
-
-class _Lowering:
-    """Compiles one kernel of a program into Python source."""
-
-    #: Inline depth bound: kernellang has no recursion, this guards cycles.
-    MAX_INLINE_DEPTH = 16
+class _Emitter(UniformityAnalysis):
+    """Emission half of the lowering (classification lives in the base)."""
 
     def __init__(
         self,
@@ -800,19 +275,12 @@ class _Lowering:
         local_size: tuple[int, ...],
         batched: bool,
     ) -> None:
-        self.program = program
-        self.kernel_def = program.kernel(kernel_name)
-        self.functions = {f.name: f for f in program.functions}
-        self.constants = KernelInterpreter(program, self.kernel_def.name).constants
-        self.local_size = tuple(int(v) for v in local_size)
-        self.batched = batched
-
+        super().__init__(program, kernel_name, local_size, batched)
         self.lines: list[str] = []
         self.depth = 0
         self.counter = 0
         self.binds: dict[str, str] = {}  # module-level built-in bindings
         self.used_ids: set[str] = set()  # prologue ids: g0, l1, G0, S0, N0
-        self.has_masked_return = False
 
         # Emission context.
         self.mask = "M0"
@@ -821,8 +289,6 @@ class _Lowering:
         self.fnflow: str | None = None
         self.retref: str | None = None
         self.loops: list[dict] = []
-        self._inline_stack: list[str] = []
-        self._fn_memo: dict = {}
 
     # -- small utilities ------------------------------------------------
     def _tmp(self, prefix: str = "_t") -> str:
@@ -844,458 +310,6 @@ class _Lowering:
             self.binds[name] = code
         return name
 
-    def _unsupported(self, what: str) -> "LoweringError":
-        return LoweringError(f"codegen cannot specialize {what}")
-
-    # -- classification: expression kinds -------------------------------
-    def _c_assign(self, scope: _Scope, name: str, kind: str, dt: str, div: bool,
-                  decl: bool = False) -> None:
-        if kind == "v" or div or scope.kind.get(name) == "v":
-            scope.kind[name] = "v"
-        else:
-            scope.kind.setdefault(name, "u")
-        old = scope.dt.get(name)
-        if old is None:
-            new = dt
-        elif not decl and old == "i":
-            new = "i"  # dynamic int-truncation keeps the slot integer
-        elif old == dt:
-            new = old
-        else:
-            new = "x"
-        scope.dt[name] = new
-
-    def _c_expr(self, expr, scope: _Scope, div: bool) -> tuple[str, str]:
-        """Kind/dtype of ``expr``; records assignment side effects."""
-        if isinstance(expr, ast.IntLiteral) or isinstance(expr, ast.BoolLiteral):
-            return ("u", "i")
-        if isinstance(expr, ast.FloatLiteral):
-            return ("u", "f")
-        if isinstance(expr, ast.Identifier):
-            name = expr.name
-            if name in scope.space:
-                return ("c", scope.space[name])
-            if name in scope.kind:
-                return (scope.kind[name], scope.dt.get(name, "x"))
-            if name in BUILTIN_CONSTANTS:
-                return ("u", "i" if isinstance(BUILTIN_CONSTANTS[name], int) else "f")
-            if getattr(scope, "optimistic", False):
-                # Loop-shape queries may run before a nested declaration has
-                # been classified; assume uniform — the fixpoint re-checks
-                # once the variable's real kind is known (kinds only go up).
-                return ("u", "x")
-            raise self._unsupported(f"undefined identifier {name!r}")
-        if isinstance(expr, ast.UnaryOp):
-            if expr.op in ("++", "--"):
-                k, dt = self._c_expr(expr.operand, scope, div)
-                if isinstance(expr.operand, ast.Identifier):
-                    self._c_assign(scope, expr.operand.name, k, dt, div)
-                return (("v" if div else k), dt)
-            k, dt = self._c_expr(expr.operand, scope, div)
-            if expr.op == "!":
-                return (k, "i")
-            if expr.op == "~":
-                return (k, "i")
-            return (k, dt)
-        if isinstance(expr, ast.BinaryOp):
-            lk, ldt = self._c_expr(expr.left, scope, div)
-            sub_div = div or lk == "v"
-            rk, rdt = self._c_expr(expr.right, scope, sub_div if expr.op in ("&&", "||") else div)
-            k = _join_kind(lk, rk)
-            if expr.op in ("<", ">", "<=", ">=", "==", "!=", "&&", "||",
-                           "&", "|", "^", "<<", ">>"):
-                return (k, "i")
-            if expr.op == "/":
-                if ldt == "i" and rdt == "i":
-                    return (k, "i")
-                if "x" in (ldt, rdt):
-                    return (k, "x")
-                return (k, "f")
-            if expr.op == "%":
-                return (k, "i" if (ldt == "i" and rdt == "i") else
-                        ("x" if "x" in (ldt, rdt) else "f"))
-            return (k, _promote_dt(ldt, rdt))
-        if isinstance(expr, ast.Assignment):
-            vk, vdt = self._c_expr(expr.value, scope, div)
-            if expr.op != "=":
-                tk, tdt = self._c_expr(expr.target, scope, div)
-                vk, vdt = _join_kind(tk, vk), self._c_binop_dt(expr.op[:-1], tdt, vdt)
-            if isinstance(expr.target, ast.Identifier):
-                self._c_assign(scope, expr.target.name, vk, vdt, div)
-            elif isinstance(expr.target, ast.Index):
-                self._c_expr(expr.target.base, scope, div)
-                self._c_expr(expr.target.index, scope, div)
-            return (vk, vdt)
-        if isinstance(expr, ast.Ternary):
-            ck, _ = self._c_expr(expr.condition, scope, div)
-            sub_div = div or ck == "v"
-            ak, adt = self._c_expr(expr.if_true, scope, sub_div)
-            bk, bdt = self._c_expr(expr.if_false, scope, sub_div)
-            return (_join_kind(ck, ak, bk), _promote_dt(adt, bdt))
-        if isinstance(expr, ast.Call):
-            return self._c_call(expr, scope, div)
-        if isinstance(expr, ast.Index):
-            bk = self._c_expr(expr.base, scope, div)
-            ik, _ = self._c_expr(expr.index, scope, div)
-            if bk[0] != "c":
-                raise self._unsupported(f"indexing a non-array value")
-            space = bk[1]
-            if space == "private":
-                return ("v", "f")
-            if space in ("global", "local") and self.batched:
-                return ("v", "f")
-            return (ik, "f")
-        if isinstance(expr, ast.Cast):
-            k, _ = self._c_expr(expr.expr, scope, div)
-            if isinstance(expr.target_type, ScalarType):
-                return (k, "i" if expr.target_type.is_integer else "f")
-            return (k, "x")
-        if isinstance(expr, ast.InitList):
-            raise self._unsupported("an initializer list outside a declaration")
-        raise self._unsupported(f"expression {type(expr).__name__}")
-
-    def _c_binop_dt(self, op: str, ldt: str, rdt: str) -> str:
-        if op in ("<", ">", "<=", ">=", "==", "!=", "&&", "||", "&", "|", "^",
-                  "<<", ">>"):
-            return "i"
-        if op == "/":
-            if ldt == "i" and rdt == "i":
-                return "i"
-            return "x" if "x" in (ldt, rdt) else "f"
-        if op == "%":
-            return "i" if (ldt == "i" and rdt == "i") else (
-                "x" if "x" in (ldt, rdt) else "f")
-        return _promote_dt(ldt, rdt)
-
-    def _c_call(self, call: ast.Call, scope: _Scope, div: bool) -> tuple[str, str]:
-        name = call.name
-        if name in CONTEXT_BUILTINS:
-            self._context_dim(call)  # validates the dim argument
-            if name in ("get_global_id", "get_local_id"):
-                return ("v", "i")
-            return ("u", "i")
-        if name in SYNC_BUILTINS:
-            raise self._unsupported("barrier()/mem_fence() inside an expression")
-        if is_builtin(name):
-            kinds, dts = [], []
-            for arg in call.args:
-                k, dt = self._c_expr(arg, scope, div)
-                if k == "c":
-                    raise self._unsupported(f"array argument to built-in {name!r}")
-                kinds.append(k)
-                dts.append(dt)
-            cls = _BUILTIN_DT.get(name, "x")
-            dt = {"p": _promote_dt(*dts) if dts else "i", "f": "f", "i": "i",
-                  "x": "x"}[cls]
-            return (_join_kind(*kinds) if kinds else "u", dt)
-        if name in self.functions:
-            func = self.functions[name]
-            arg_sigs = tuple(self._c_expr(arg, scope, div) for arg in call.args)
-            kind, dt, _simple = self._fn_summary(func, arg_sigs, div)
-            return (kind, dt)
-        raise self._unsupported(f"call to unknown function {name!r}")
-
-    def _context_dim(self, call: ast.Call) -> int:
-        if not call.args:
-            return 0
-        arg = call.args[0]
-        if not isinstance(arg, ast.IntLiteral):
-            raise self._unsupported(
-                f"a non-literal dimension argument to {call.name}()"
-            )
-        dim = arg.value
-        if not 0 <= dim < len(self.local_size):
-            raise self._unsupported(
-                f"{call.name}({dim}) outside the launch rank"
-            )
-        return dim
-
-    # -- classification: statements --------------------------------------
-    def _fn_simple(self, func: ast.FunctionDef) -> bool:
-        """Straight-line body ending in a single return: inlines uniformly."""
-        stmts = func.body.statements
-        if not stmts or not isinstance(stmts[-1], ast.ReturnStmt):
-            return False
-        if stmts[-1].value is None:
-            return False
-        for stmt in stmts[:-1]:
-            if not isinstance(stmt, (ast.DeclStmt, ast.ExprStmt)):
-                return False
-            if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.Call) \
-                    and stmt.expr.name in SYNC_BUILTINS:
-                return False
-        return self._count_returns(func.body) == 1
-
-    def _count_returns(self, block) -> int:
-        count = 0
-        for stmt in block.statements:
-            if isinstance(stmt, ast.ReturnStmt):
-                count += 1
-            elif isinstance(stmt, (ast.Block,)):
-                count += self._count_returns(stmt)
-            elif isinstance(stmt, ast.IfStmt):
-                count += self._count_returns(stmt.then_body)
-                if stmt.else_body is not None:
-                    count += self._count_returns(stmt.else_body)
-            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
-                count += self._count_returns(stmt.body)
-        return count
-
-    def _callee_scope(self, func: ast.FunctionDef, arg_sigs) -> _Scope:
-        scope = _Scope()
-        self._seed_constants(scope)
-        if len(arg_sigs) != len(func.params):
-            raise self._unsupported(
-                f"call to {func.name!r} with {len(arg_sigs)} arguments "
-                f"(expects {len(func.params)})"
-            )
-        for index, (param, sig) in enumerate(zip(func.params, arg_sigs)):
-            if sig[0] == "c":
-                scope.space[param.name] = sig[1]
-                scope.py[param.name] = ""  # bound at emission time
-            else:
-                scope.kind[param.name] = sig[0]
-                scope.dt[param.name] = sig[1]
-                scope.py[param.name] = ""
-        return scope
-
-    def _fn_summary(self, func: ast.FunctionDef, arg_sigs, div: bool):
-        """(kind, dt, simple) of a helper call with the given argument kinds."""
-        key = (func.name, arg_sigs, div, self.batched)
-        cached = self._fn_memo.get(key)
-        if cached is not None:
-            return cached
-        if func.name in self._inline_stack:
-            raise self._unsupported(f"recursive helper function {func.name!r}")
-        if len(self._inline_stack) >= self.MAX_INLINE_DEPTH:
-            raise self._unsupported("helper inlining deeper than 16 levels")
-        self._inline_stack.append(func.name)
-        try:
-            simple = self._fn_simple(func)
-            scope = self._callee_scope(func, arg_sigs)
-            body_div = div or not simple
-            self._classify(func.body, scope, body_div, in_function=True)
-            if simple:
-                kind, dt = self._c_expr(
-                    func.body.statements[-1].value, scope, body_div
-                )
-                result = (kind, dt, True)
-            else:
-                dts = self._return_dts(func.body, scope, body_div)
-                dt = _promote_dt("i", *dts) if dts else "i"
-                result = ("v", dt, False)
-        finally:
-            self._inline_stack.pop()
-        self._fn_memo[key] = result
-        return result
-
-    def _return_dts(self, block, scope, div) -> list[str]:
-        dts: list[str] = []
-        for stmt in block.statements:
-            if isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
-                dts.append(self._c_expr(stmt.value, scope, div)[1])
-            elif isinstance(stmt, ast.Block):
-                dts.extend(self._return_dts(stmt, scope, div))
-            elif isinstance(stmt, ast.IfStmt):
-                dts.extend(self._return_dts(stmt.then_body, scope, div))
-                if stmt.else_body is not None:
-                    dts.extend(self._return_dts(stmt.else_body, scope, div))
-            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
-                dts.extend(self._return_dts(stmt.body, scope, div))
-        return dts
-
-    def _classify(self, block, scope: _Scope, div: bool, in_function: bool) -> None:
-        """Run the statement walk to a fixpoint (kinds only ever go up)."""
-        for _ in range(50):
-            before = (dict(scope.kind), dict(scope.dt))
-            self._c_block(block, scope, div, in_function)
-            if (scope.kind, scope.dt) == before:
-                return
-        raise self._unsupported("a program whose classification does not converge")
-
-    def _c_block(self, block, scope, div, in_function) -> bool:
-        """Classify a block; returns the divergence state *after* the block.
-
-        Mirrors the emitter exactly: a statement whose subtree kills lanes
-        (return / break / continue escaping through a mask merge) leaves
-        the remainder of the block divergent, so later declarations are
-        classified — and pre-initialized — the way they will be emitted.
-        """
-        for stmt in block.statements:
-            div = self._c_stmt(stmt, scope, div, in_function)
-        return div
-
-    def _c_stmt(self, stmt, scope, div, in_function) -> bool:
-        if isinstance(stmt, ast.DeclStmt):
-            for decl in stmt.declarations:
-                self._c_decl(decl, scope, div)
-            return div
-        if isinstance(stmt, ast.ExprStmt):
-            if isinstance(stmt.expr, ast.Call) and stmt.expr.name in SYNC_BUILTINS:
-                return div
-            self._c_expr(stmt.expr, scope, div)
-            return div
-        if isinstance(stmt, ast.Block):
-            return self._c_block(stmt, scope, div, in_function)
-        if isinstance(stmt, ast.IfStmt):
-            ck, _ = self._c_expr(stmt.condition, scope, div)
-            branch_div = div or ck == "v"
-            self._c_block(stmt.then_body, scope, branch_div, in_function)
-            if stmt.else_body is not None:
-                self._c_block(stmt.else_body, scope, branch_div, in_function)
-            kills = self._contains_kills(stmt.then_body) or (
-                stmt.else_body is not None
-                and self._contains_kills(stmt.else_body)
-            )
-            return div or bool(kills)
-        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
-            if isinstance(stmt, ast.ForStmt) and stmt.init is not None:
-                self._c_stmt(stmt.init, scope, div, in_function)
-            masked = self._loop_masked(stmt, scope, div)
-            body_div = div or masked
-            if stmt.condition is not None:
-                self._c_expr(stmt.condition, scope, body_div)
-            self._c_block(stmt.body, scope, body_div, in_function)
-            if isinstance(stmt, ast.ForStmt) and stmt.step is not None:
-                self._c_expr(stmt.step, scope, body_div)
-            return div or self._count_returns(stmt.body) > 0
-        if isinstance(stmt, ast.ReturnStmt):
-            if stmt.value is not None:
-                self._c_expr(stmt.value, scope, div)
-            if div and not in_function:
-                self.has_masked_return = True
-            return div
-        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
-            return div
-        raise self._unsupported(f"statement {type(stmt).__name__}")
-
-    def _c_decl(self, decl: ast.VarDecl, scope: _Scope, div: bool) -> None:
-        if decl.array_size is not None:
-            sk, _ = self._c_expr(decl.array_size, scope, div)
-            if sk == "v":
-                raise self._unsupported(
-                    f"array {decl.name!r} with a varying size"
-                )
-            scope.space[decl.name] = (
-                "local" if decl.address_space == "local" else "private"
-            )
-            scope.py.setdefault(decl.name, "")
-            if isinstance(decl.init, ast.InitList):
-                for value in decl.init.values:
-                    self._c_expr(value, scope, div)
-            return
-        if decl.init is not None:
-            vk, vdt = self._c_expr(decl.init, scope, div)
-        else:
-            vk, vdt = "u", "i"
-        if isinstance(decl.var_type, ScalarType) and decl.var_type.is_integer:
-            vdt = "i"
-        self._c_assign(scope, decl.name, vk, vdt, div, decl=True)
-        if div:
-            scope.divdecl.add(decl.name)
-
-    # -- loop shape decisions ---------------------------------------------
-    def _loop_masked(self, node, scope: _Scope, outer_div: bool) -> bool:
-        if outer_div:
-            return True
-        if node.condition is not None:
-            ck, _ = self._c_expr(node.condition, _ScopeView(scope), False)
-            if ck == "v":
-                return True
-        if isinstance(node, ast.ForStmt) and node.init is not None:
-            init = node.init
-            if isinstance(init, ast.DeclStmt):
-                for decl in init.declarations:
-                    if decl.init is not None and scope.kind.get(decl.name) == "v":
-                        return True
-            elif isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assignment):
-                target = init.expr.target
-                if isinstance(target, ast.Identifier) and scope.kind.get(target.name) == "v":
-                    return True
-        return self._body_has_masked_kills(node.body, scope, False)
-
-    def _body_has_masked_kills(self, block, scope, rel_div, in_inner=False) -> bool:
-        for stmt in block.statements:
-            if isinstance(stmt, ast.ReturnStmt):
-                if rel_div:
-                    return True
-            elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
-                if rel_div and not in_inner:
-                    return True
-            elif isinstance(stmt, ast.Block):
-                if self._body_has_masked_kills(stmt, scope, rel_div, in_inner):
-                    return True
-            elif isinstance(stmt, ast.IfStmt):
-                ck, _ = self._c_expr(stmt.condition, _ScopeView(scope), False)
-                branch = rel_div or ck == "v"
-                if self._body_has_masked_kills(stmt.then_body, scope, branch, in_inner):
-                    return True
-                if stmt.else_body is not None and self._body_has_masked_kills(
-                    stmt.else_body, scope, branch, in_inner
-                ):
-                    return True
-            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
-                inner_masked = self._loop_masked(stmt, scope, rel_div)
-                if self._body_has_masked_kills(
-                    stmt.body, scope, rel_div or inner_masked, True
-                ):
-                    return True
-        return False
-
-    def _contains_kills(self, block, in_inner_loop=False) -> bool:
-        """Any return, or break/continue escaping to an enclosing loop."""
-        for stmt in block.statements:
-            if isinstance(stmt, ast.ReturnStmt):
-                return True
-            if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
-                if not in_inner_loop:
-                    return True
-            elif isinstance(stmt, ast.Block):
-                if self._contains_kills(stmt, in_inner_loop):
-                    return True
-            elif isinstance(stmt, ast.IfStmt):
-                if self._contains_kills(stmt.then_body, in_inner_loop):
-                    return True
-                if stmt.else_body is not None and self._contains_kills(
-                    stmt.else_body, in_inner_loop
-                ):
-                    return True
-            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
-                if self._contains_kills(stmt.body, True):
-                    return True
-        return False
-
-    def _stmt_kills(self, stmt) -> bool:
-        if isinstance(stmt, (ast.ReturnStmt, ast.BreakStmt, ast.ContinueStmt)):
-            return True
-        if isinstance(stmt, ast.Block):
-            return self._contains_kills(stmt)
-        if isinstance(stmt, ast.IfStmt):
-            if self._contains_kills(stmt.then_body):
-                return True
-            return stmt.else_body is not None and self._contains_kills(stmt.else_body)
-        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
-            return self._contains_kills(stmt.body, True)
-        return False
-
-
-class _ScopeView:
-    """Read-only view of a scope for kind queries during loop decisions."""
-
-    __slots__ = ("kind", "dt", "space", "py", "divdecl", "optimistic")
-
-    def __init__(self, scope: _Scope) -> None:
-        self.kind = dict(scope.kind)
-        self.dt = dict(scope.dt)
-        self.space = scope.space
-        self.py = scope.py
-        self.divdecl = set()
-        self.optimistic = True
-
-
-class _Emitter(_Lowering):
-    """Emission half of the lowering (classification lives in the base)."""
-
     # -- capture/splice for lazily evaluated sub-expressions -------------
     def _capture_expr(self, fn):
         saved_lines, saved_depth = self.lines, self.depth
@@ -1312,11 +326,11 @@ class _Emitter(_Lowering):
             self.lines.append(pad + line)
 
     # -- value plumbing ---------------------------------------------------
-    def _promote(self, v: _V) -> str:
+    def _promote(self, v: Value) -> str:
         """Code for ``v`` as a (lanes,) array."""
         return f"_np.full(L, {v.code})" if v.kind == "u" else v.code
 
-    def _idx_code(self, v: _V) -> str:
+    def _idx_code(self, v: Value) -> str:
         """Index operand: int scalar (uniform) or int64 array (varying)."""
         if v.kind == "u":
             return v.code if v.dt == "i" else f"int({v.code})"
@@ -1324,28 +338,14 @@ class _Emitter(_Lowering):
             return v.code
         return f"_np.asarray({v.code}).astype(_I)"
 
-    def _int_code(self, v: _V) -> str:
+    def _int_code(self, v: Value) -> str:
         if v.kind == "u":
             return v.code if v.dt == "i" else f"int({v.code})"
         return v.code if v.dt == "i" else f"({v.code}).astype(_I)"
 
     # -- entry point ------------------------------------------------------
     def lower(self) -> str:
-        scope = _Scope()
-        self._seed_constants(scope)
-        for param in self.kernel_def.params:
-            if isinstance(param.param_type, PointerType):
-                scope.space[param.name] = "global"
-                scope.py[param.name] = f"c_{param.name}"
-            else:
-                scope.kind[param.name] = "u"
-                scope.dt[param.name] = (
-                    "i"
-                    if isinstance(param.param_type, ScalarType)
-                    and param.param_type.is_integer
-                    else "f"
-                )
-                scope.py[param.name] = f"v_{param.name}"
+        scope = self.kernel_scope()
         self._classify(self.kernel_def.body, scope, False, False)
 
         self.depth = 1
@@ -1395,16 +395,6 @@ class _Emitter(_Lowering):
         out.append("")
         return "\n".join(out)
 
-    def _seed_constants(self, scope: _Scope) -> None:
-        for name, value in self.constants.items():
-            if isinstance(value, _ConstantArray):
-                scope.space[name] = "constant"
-                scope.py[name] = f"kc_{name}"
-            else:
-                scope.kind[name] = "u"
-                scope.dt[name] = "i" if isinstance(value, int) else "f"
-                scope.py[name] = f"k_{name}"
-
     # -- statements -------------------------------------------------------
     def _suite(self, emit_fn) -> None:
         """Emit an indented suite, inserting ``pass`` if it came out empty."""
@@ -1415,7 +405,7 @@ class _Emitter(_Lowering):
             self._line("pass")
         self._pop()
 
-    def _emit_block(self, stmts, scope: _Scope) -> None:
+    def _emit_block(self, stmts, scope: Scope) -> None:
         for index, stmt in enumerate(stmts):
             self._emit_stmt(stmt, scope)
             rest = stmts[index + 1:]
@@ -1432,7 +422,7 @@ class _Emitter(_Lowering):
                 self.mask = entry
                 return
 
-    def _emit_stmt(self, stmt, scope: _Scope) -> None:
+    def _emit_stmt(self, stmt, scope: Scope) -> None:
         if isinstance(stmt, ast.DeclStmt):
             for decl in stmt.declarations:
                 self._emit_decl(decl, scope)
@@ -1489,7 +479,7 @@ class _Emitter(_Lowering):
             self._pop()
         self._line("_b += 1")
 
-    def _emit_decl(self, decl: ast.VarDecl, scope: _Scope) -> None:
+    def _emit_decl(self, decl: ast.VarDecl, scope: Scope) -> None:
         name = decl.name
         if decl.array_size is not None:
             size = self._emit_expr(decl.array_size, scope)
@@ -1533,7 +523,7 @@ class _Emitter(_Lowering):
         if decl.init is not None:
             value = self._emit_expr(decl.init, scope)
         else:
-            value = _V("0", "u", "i")
+            value = Value("0", "u", "i")
         is_int = isinstance(decl.var_type, ScalarType) and decl.var_type.is_integer
         py = scope.py.get(name)
         if not py:
@@ -1562,7 +552,7 @@ class _Emitter(_Lowering):
         self.counter += 1
         return self.counter
 
-    def _emit_if(self, stmt: ast.IfStmt, scope: _Scope) -> None:
+    def _emit_if(self, stmt: ast.IfStmt, scope: Scope) -> None:
         cond = self._emit_expr(stmt.condition, scope)
         if cond.kind == "u":
             # Masked kills inside a uniform branch (a varying sub-if with a
@@ -1629,7 +619,7 @@ class _Emitter(_Lowering):
         else:
             self.mask, self.div = entry_mask, entry_div
 
-    def _emit_loop(self, stmt, scope: _Scope, init=None, step=None,
+    def _emit_loop(self, stmt, scope: Scope, init=None, step=None,
                    check_first: bool = True) -> None:
         entry_mask, entry_div = self.mask, self.div
         if init is not None:
@@ -1704,7 +694,7 @@ class _Emitter(_Lowering):
                     return True
         return False
 
-    def _emit_masked_loop(self, stmt, scope: _Scope, step, check_first) -> None:
+    def _emit_masked_loop(self, stmt, scope: Scope, step, check_first) -> None:
         entry_mask, entry_div = self.mask, self.div
         active = self._tmp("_ma")
         self._line(f"{active} = {entry_mask}")
@@ -1755,7 +745,7 @@ class _Emitter(_Lowering):
         else:
             self.mask, self.div = entry_mask, entry_div
 
-    def _emit_return(self, stmt: ast.ReturnStmt, scope: _Scope) -> None:
+    def _emit_return(self, stmt: ast.ReturnStmt, scope: Scope) -> None:
         value = None
         if stmt.value is not None:
             value = self._emit_expr(stmt.value, scope)
@@ -1799,25 +789,25 @@ class _Emitter(_Lowering):
             self._line("break")  # exits the _ONCE wrapper, falls to the step
 
     # -- expressions ------------------------------------------------------
-    def _emit_expr(self, expr, scope: _Scope) -> _V:
+    def _emit_expr(self, expr, scope: Scope) -> Value:
         if isinstance(expr, ast.IntLiteral):
-            return _V(repr(expr.value), "u", "i")
+            return Value(repr(expr.value), "u", "i")
         if isinstance(expr, ast.FloatLiteral):
-            return _V(repr(expr.value), "u", "f")
+            return Value(repr(expr.value), "u", "f")
         if isinstance(expr, ast.BoolLiteral):
-            return _V("1" if expr.value else "0", "u", "i")
+            return Value("1" if expr.value else "0", "u", "i")
         if isinstance(expr, ast.Identifier):
             name = expr.name
             if name in scope.space:
-                return _V(scope.py[name], "c", scope.space[name])
+                return Value(scope.py[name], "c", scope.space[name])
             if name in scope.kind:
                 py = scope.py.get(name)
                 if not py:
                     raise self._unsupported(f"use of {name!r} before its declaration")
-                return _V(py, scope.kind[name], scope.dt.get(name, "x"))
+                return Value(py, scope.kind[name], scope.dt.get(name, "x"))
             if name in BUILTIN_CONSTANTS:
                 value = BUILTIN_CONSTANTS[name]
-                return _V(repr(value), "u", "i" if isinstance(value, int) else "f")
+                return Value(repr(value), "u", "i" if isinstance(value, int) else "f")
             raise self._unsupported(f"undefined identifier {name!r}")
         if isinstance(expr, ast.UnaryOp):
             return self._emit_unary(expr, scope)
@@ -1835,41 +825,41 @@ class _Emitter(_Lowering):
             value = self._emit_expr(expr.expr, scope)
             if isinstance(expr.target_type, ScalarType) and expr.target_type.is_integer:
                 if value.kind == "u":
-                    return _V(f"int({value.code})", "u", "i")
-                return _V(f"_np.asarray({value.code}).astype(_I)", "v", "i")
+                    return Value(f"int({value.code})", "u", "i")
+                return Value(f"_np.asarray({value.code}).astype(_I)", "v", "i")
             if isinstance(expr.target_type, ScalarType) and expr.target_type.is_float:
                 if value.kind == "u":
-                    return _V(f"float({value.code})", "u", "f")
-                return _V(f"_np.asarray({value.code}).astype(_F)", "v", "f")
+                    return Value(f"float({value.code})", "u", "f")
+                return Value(f"_np.asarray({value.code}).astype(_F)", "v", "f")
             return value
         raise self._unsupported(f"expression {type(expr).__name__}")
 
-    def _emit_unary(self, expr: ast.UnaryOp, scope: _Scope) -> _V:
+    def _emit_unary(self, expr: ast.UnaryOp, scope: Scope) -> Value:
         if expr.op in ("++", "--"):
             delta = "1" if expr.op == "++" else "-1"
             old = self._emit_expr(expr.operand, scope)
             old_t = self._tmp()
             self._line(f"{old_t} = {old.code}")
-            dt = _promote_dt(old.dt, "i") if old.dt != "x" else "x"
+            dt = promote_dt(old.dt, "i") if old.dt != "x" else "x"
             new_t = self._tmp()
             self._line(f"{new_t} = {old_t} + ({delta})")
-            self._store_to(expr.operand, _V(new_t, old.kind, dt), scope)
+            self._store_to(expr.operand, Value(new_t, old.kind, dt), scope)
             result = old_t if expr.postfix else new_t
-            return _V(result, old.kind, old.dt if expr.postfix else dt)
+            return Value(result, old.kind, old.dt if expr.postfix else dt)
         operand = self._emit_expr(expr.operand, scope)
         if expr.op == "-":
-            return _V(f"(-({operand.code}))", operand.kind, operand.dt)
+            return Value(f"(-({operand.code}))", operand.kind, operand.dt)
         if expr.op == "+":
             return operand
         if expr.op == "!":
             if operand.kind == "u":
-                return _V(f"(0 if {operand.code} else 1)", "u", "i")
-            return _V(f"(~(({operand.code}) != 0)).astype(_I)", "v", "i")
+                return Value(f"(0 if {operand.code} else 1)", "u", "i")
+            return Value(f"(~(({operand.code}) != 0)).astype(_I)", "v", "i")
         if expr.op == "~":
-            return _V(f"(~{self._int_code(operand)})", operand.kind, "i")
+            return Value(f"(~{self._int_code(operand)})", operand.kind, "i")
         raise self._unsupported(f"unary operator {expr.op!r}")
 
-    def _emit_binary(self, expr: ast.BinaryOp, scope: _Scope) -> _V:
+    def _emit_binary(self, expr: ast.BinaryOp, scope: Scope) -> Value:
         op = expr.op
         if op in ("&&", "||"):
             return self._emit_logical(expr, scope)
@@ -1877,36 +867,36 @@ class _Emitter(_Lowering):
         right = self._emit_expr(expr.right, scope)
         return self._apply_binary(op, left, right)
 
-    def _apply_binary(self, op: str, left: _V, right: _V) -> _V:
-        kind = _join_kind(left.kind, right.kind)
+    def _apply_binary(self, op: str, left: Value, right: Value) -> Value:
+        kind = join_kind(left.kind, right.kind)
         if op == "/":
             if kind == "u":
-                return _V(f"_udiv({left.code}, {right.code})", "u",
+                return Value(f"_udiv({left.code}, {right.code})", "u",
                           self._c_binop_dt("/", left.dt, right.dt))
-            return _V(f"_vdiv({left.code}, {right.code}, {self.mask})", "v",
+            return Value(f"_vdiv({left.code}, {right.code}, {self.mask})", "v",
                       self._c_binop_dt("/", left.dt, right.dt))
         if op == "%":
             if kind == "u":
-                return _V(f"_umod({left.code}, {right.code})", "u",
+                return Value(f"_umod({left.code}, {right.code})", "u",
                           self._c_binop_dt("%", left.dt, right.dt))
-            return _V(f"_vmod({left.code}, {right.code}, {self.mask})", "v",
+            return Value(f"_vmod({left.code}, {right.code}, {self.mask})", "v",
                       self._c_binop_dt("%", left.dt, right.dt))
         if op in ("+", "-", "*"):
-            return _V(f"(({left.code}) {op} ({right.code}))", kind,
-                      _promote_dt(left.dt, right.dt))
+            return Value(f"(({left.code}) {op} ({right.code}))", kind,
+                      promote_dt(left.dt, right.dt))
         if op in ("<", ">", "<=", ">=", "==", "!="):
             if kind == "u":
-                return _V(f"int(({left.code}) {op} ({right.code}))", "u", "i")
-            return _V(f"((({left.code}) {op} ({right.code})).astype(_I))", "v", "i")
+                return Value(f"int(({left.code}) {op} ({right.code}))", "u", "i")
+            return Value(f"((({left.code}) {op} ({right.code})).astype(_I))", "v", "i")
         if op in ("&", "|", "^", "<<", ">>"):
             lc, rc = self._int_code(left), self._int_code(right)
-            return _V(f"(({lc}) {op} ({rc}))", kind, "i")
+            return Value(f"(({lc}) {op} ({rc}))", kind, "i")
         raise self._unsupported(f"binary operator {op!r}")
 
-    def _emit_logical(self, expr: ast.BinaryOp, scope: _Scope) -> _V:
+    def _emit_logical(self, expr: ast.BinaryOp, scope: Scope) -> Value:
         is_and = expr.op == "&&"
         left = self._emit_expr(expr.left, scope)
-        kind, _ = self._c_expr(expr, _ScopeView(scope), self.div)
+        kind, _ = self._c_expr(expr, ScopeView(scope), self.div)
         if kind == "u":
             captured, right = self._capture_expr(
                 lambda: self._emit_expr(expr.right, scope)
@@ -1916,7 +906,7 @@ class _Emitter(_Lowering):
                     code = f"((1 if ({right.code}) else 0) if ({left.code}) else 0)"
                 else:
                     code = f"(1 if ({left.code}) else (1 if ({right.code}) else 0))"
-                return _V(code, "u", "i")
+                return Value(code, "u", "i")
             out = self._tmp()
             if is_and:
                 self._line(f"{out} = 0")
@@ -1932,7 +922,7 @@ class _Emitter(_Lowering):
                 self._splice(captured)
                 self._line(f"{out} = 1 if ({right.code}) else 0")
                 self._pop()
-            return _V(out, "u", "i")
+            return Value(out, "u", "i")
         # Varying result: the vectorized backend's masked short-circuit.
         out = self._tmp()
         self._line(f"{out} = _np.zeros(L, _I)")
@@ -1962,9 +952,9 @@ class _Emitter(_Lowering):
         self._line(f"{out}[{right_mask} & (({right.code}) != 0)] = 1")
         self.mask, self.div = saved_mask, saved_div
         self._pop()
-        return _V(out, "v", "i")
+        return Value(out, "v", "i")
 
-    def _emit_assignment(self, expr: ast.Assignment, scope: _Scope) -> _V:
+    def _emit_assignment(self, expr: ast.Assignment, scope: Scope) -> Value:
         value = self._emit_expr(expr.value, scope)
         if expr.op != "=":
             current = self._emit_expr(expr.target, scope)
@@ -1973,15 +963,15 @@ class _Emitter(_Lowering):
         self._store_to(expr.target, value, scope)
         return value
 
-    def _materialize(self, value: _V) -> _V:
+    def _materialize(self, value: Value) -> Value:
         """Bind a composite expression to a temp so it is evaluated once."""
         if value.code.isidentifier() or value.code.replace(".", "", 1).isdigit():
             return value
         name = self._tmp()
         self._line(f"{name} = {value.code}")
-        return _V(name, value.kind, value.dt)
+        return Value(name, value.kind, value.dt)
 
-    def _store_to(self, target, value: _V, scope: _Scope) -> None:
+    def _store_to(self, target, value: Value, scope: Scope) -> None:
         if isinstance(target, ast.Identifier):
             self._store_ident(target.name, value, scope)
             return
@@ -1990,7 +980,7 @@ class _Emitter(_Lowering):
             return
         raise self._unsupported("assignment target")
 
-    def _store_ident(self, name: str, value: _V, scope: _Scope) -> None:
+    def _store_ident(self, name: str, value: Value, scope: Scope) -> None:
         if name not in scope.kind:
             raise self._unsupported(f"assignment to undefined variable {name!r}")
         py = scope.py.get(name)
@@ -2024,16 +1014,16 @@ class _Emitter(_Lowering):
         else:
             self._line(f"{py} = {code}")
 
-    def _container(self, base, scope: _Scope):
+    def _container(self, base, scope: Scope):
         value = self._emit_expr(base, scope)
         if value.kind != "c":
             raise self._unsupported("indexing a non-array value")
         return value
 
-    def _store_index(self, target: ast.Index, value: _V, scope: _Scope) -> None:
+    def _store_index(self, target: ast.Index, value: Value, scope: Scope) -> None:
         container = self._container(target.base, scope)
         index = self._emit_expr(target.index, scope)
-        space = container.dt  # the container _V carries the space in .dt
+        space = container.dt  # the container Value carries the space in .dt
         py = container.code
         seg = self.batched and space in ("global", "local")
         if index.kind == "u" and not seg and space != "private":
@@ -2049,7 +1039,7 @@ class _Emitter(_Lowering):
         else:
             self._line(f"{py}.storef({idx}, {value.code})")
 
-    def _emit_load_index(self, expr: ast.Index, scope: _Scope) -> _V:
+    def _emit_load_index(self, expr: ast.Index, scope: Scope) -> Value:
         container = self._container(expr.base, scope)
         index = self._emit_expr(expr.index, scope)
         space = container.dt
@@ -2062,23 +1052,23 @@ class _Emitter(_Lowering):
                 code = f"{py}.loadum({idx}, {self.mask})"
             else:
                 code = f"{py}.loadu({idx}, L)"
-            return _V(code, "u", "f")
+            return Value(code, "u", "f")
         if self.div:
             code = f"{py}.loadm({idx}, {self.mask})"
         else:
             code = f"{py}.loadf({idx})"
-        return _V(code, "v" if varying_result else "u", "f")
+        return Value(code, "v" if varying_result else "u", "f")
 
-    def _emit_ternary(self, expr: ast.Ternary, scope: _Scope) -> _V:
+    def _emit_ternary(self, expr: ast.Ternary, scope: Scope) -> Value:
         cond = self._emit_expr(expr.condition, scope)
         if cond.kind == "u":
             cap_a, a = self._capture_expr(lambda: self._emit_expr(expr.if_true, scope))
             cap_b, b = self._capture_expr(lambda: self._emit_expr(expr.if_false, scope))
-            kind = _join_kind(a.kind, b.kind)
+            kind = join_kind(a.kind, b.kind)
             if not cap_a and not cap_b and kind == "u":
-                return _V(
+                return Value(
                     f"(({a.code}) if ({cond.code}) else ({b.code}))",
-                    "u", _promote_dt(a.dt, b.dt),
+                    "u", promote_dt(a.dt, b.dt),
                 )
             out = self._tmp()
             self._line(f"if ({cond.code}):")
@@ -2093,7 +1083,7 @@ class _Emitter(_Lowering):
             code_b = self._promote(b) if kind == "v" else b.code
             self._line(f"{out} = {code_b}")
             self._pop()
-            return _V(out, kind, _promote_dt(a.dt, b.dt))
+            return Value(out, kind, promote_dt(a.dt, b.dt))
         test = self._tmp("_c")
         self._line(f"{test} = (({cond.code}) != 0)")
         mask_t = self._tmp("_m")
@@ -2113,25 +1103,25 @@ class _Emitter(_Lowering):
             self._pop()
         out = self._tmp()
         self._line(f"{out} = _merge_parts(L, {parts})")
-        return _V(out, "v", _promote_dt(
-            self._c_expr(expr.if_true, _ScopeView(scope), True)[1],
-            self._c_expr(expr.if_false, _ScopeView(scope), True)[1],
+        return Value(out, "v", promote_dt(
+            self._c_expr(expr.if_true, ScopeView(scope), True)[1],
+            self._c_expr(expr.if_false, ScopeView(scope), True)[1],
         ))
 
     # -- calls ------------------------------------------------------------
-    def _emit_call(self, call: ast.Call, scope: _Scope) -> _V:
+    def _emit_call(self, call: ast.Call, scope: Scope) -> Value:
         name = call.name
         if name in CONTEXT_BUILTINS:
             dim = self._context_dim(call)
-            field = _CONTEXT_DIMS[name]
+            field = CONTEXT_FIELDS[name]
             if field == "lsz":
-                return _V(str(self.local_size[dim]), "u", "i")
+                return Value(str(self.local_size[dim]), "u", "i")
             short = {"gid": "g", "lid": "l", "grp": "G", "gsz": "S", "ngrp": "N"}[field]
             ident = f"{short}{dim}"
             self.used_ids.add(ident)
             if field in ("gid", "lid"):
-                return _V(ident, "v", "i")
-            return _V(ident, "u", "i")
+                return Value(ident, "v", "i")
+            return Value(ident, "u", "i")
         if name in SYNC_BUILTINS:
             raise self._unsupported("barrier()/mem_fence() inside an expression")
         if is_builtin(name):
@@ -2140,27 +1130,27 @@ class _Emitter(_Lowering):
                 raise self._unsupported(f"array argument to built-in {name!r}")
             kinds = [arg.kind for arg in args]
             dts = [arg.dt for arg in args]
-            cls = _BUILTIN_DT.get(name, "x")
-            dt = {"p": _promote_dt(*dts) if dts else "i", "f": "f",
+            cls = BUILTIN_RESULT_DT.get(name, "x")
+            dt = {"p": promote_dt(*dts) if dts else "i", "f": "f",
                   "i": "i", "x": "x"}[cls]
-            uniform = not kinds or _join_kind(*kinds) == "u"
+            uniform = not kinds or join_kind(*kinds) == "u"
             if uniform:
                 impl = self._bind(f"_bi_{name}", f"_BI_IMPL({name!r})")
                 arg_code = ", ".join(arg.code for arg in args)
-                return _V(f"_ucall({name!r}, {impl}, {arg_code})", "u", dt)
-            if name in _VECTOR_BUILTINS:
+                return Value(f"_ucall({name!r}, {impl}, {arg_code})", "u", dt)
+            if name in VECTOR_BUILTINS:
                 fn = self._bind(f"_vb_{name}", f"_VB[{name!r}]")
                 arg_code = ", ".join(arg.code for arg in args)
-                return _V(f"{fn}({self.mask}, {arg_code})", "v", dt)
+                return Value(f"{fn}({self.mask}, {arg_code})", "v", dt)
             fn = self._bind(f"_vf_{name}", f"_VF({name!r})")
             arg_code = ", ".join(self._promote(arg) for arg in args)
-            return _V(f"{fn}({self.mask}, {arg_code})", "v", dt)
+            return Value(f"{fn}({self.mask}, {arg_code})", "v", dt)
         if name in self.functions:
             return self._emit_user_call(self.functions[name], call, scope)
         raise self._unsupported(f"call to unknown function {name!r}")
 
     def _emit_user_call(self, func: ast.FunctionDef, call: ast.Call,
-                        scope: _Scope) -> _V:
+                        scope: Scope) -> Value:
         arg_values = [self._emit_expr(arg, scope) for arg in call.args]
         arg_sigs = tuple(
             ("c", v.dt) if v.kind == "c" else (v.kind, v.dt) for v in arg_values
@@ -2188,7 +1178,7 @@ class _Emitter(_Lowering):
                 for stmt in func.body.statements[:-1]:
                     self._emit_stmt_in_function(stmt, callee)
                 result = self._emit_expr(func.body.statements[-1].value, callee)
-                return self._materialize(_V(result.code, kind, dt))
+                return self._materialize(Value(result.code, kind, dt))
             self._classify(func.body, callee, True, in_function=True)
             flow = self._tmp("_ff")
             self._line(f"{flow} = _FnFlow(L)")
@@ -2211,11 +1201,11 @@ class _Emitter(_Lowering):
              self.retref, self.loops) = saved
             out = self._tmp()
             self._line(f"{out} = {flow}.result()")
-            return _V(out, "v", dt)
+            return Value(out, "v", dt)
         finally:
             self._inline_stack.pop()
 
-    def _emit_stmt_in_function(self, stmt, callee: _Scope) -> None:
+    def _emit_stmt_in_function(self, stmt, callee: Scope) -> None:
         saved = self.in_function
         self.in_function = True
         try:
@@ -2295,7 +1285,7 @@ class CodegenKernel:
         self.constants = KernelInterpreter(program, self.kernel_def.name).constants
         self.cl_source = clgen_generate(program)
         self.const_containers = {
-            name: _CConstant(name, value.values)
+            name: ConstantView(name, value.values)
             for name, value in self.constants.items()
             if isinstance(value, _ConstantArray)
         }

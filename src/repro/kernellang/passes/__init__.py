@@ -1,0 +1,31 @@
+"""The kernellang pass pipeline — shared lowering semantics for all backends.
+
+The compiled backends specialize one kernel source into many approximate
+variants; this package holds the lowering semantics they share, so a new
+backend consumes the passes instead of re-implementing mask algebra and
+batching from scratch (see ``docs/ir.md`` for the backend-author path):
+
+* :mod:`~repro.kernellang.passes.uniformity` — classifies every variable
+  as uniform or varying and decides which loops need mask machinery (the
+  specialization analysis of the codegen backend);
+* :mod:`~repro.kernellang.passes.masking` — the mask-insertion semantics
+  for divergent control flow: the per-lane mask algebra, merge rules,
+  C-semantics arithmetic kernels, mask-aware built-ins, and the dynamic
+  masked statement executor the vectorized backend runs;
+* :mod:`~repro.kernellang.passes.memory` — lane-indexed views of global
+  buffers, local tiles, private and constant arrays, with the exact
+  bounds-check and ``ExecutionStats`` counting contract;
+* :mod:`~repro.kernellang.passes.batching` — the batching transform for
+  segmented buffers: lane-to-request routing and the segmented memory
+  views that make one stacked launch bit-identical to N individual ones.
+
+The typed value model the passes operate on (kinds, dtypes,
+:class:`~repro.kernellang.ir.Scope`) lives in :mod:`repro.kernellang.ir`.
+"""
+
+from .uniformity import UniformityAnalysis, classify_kernel
+
+__all__ = [
+    "UniformityAnalysis",
+    "classify_kernel",
+]

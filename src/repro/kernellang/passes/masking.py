@@ -1,0 +1,511 @@
+"""Mask insertion: the per-lane semantics of divergent control flow.
+
+**Consumes** varying values as ``(lanes,)`` NumPy arrays plus a boolean
+active-lane mask.  **Guarantees downstream** that every merge, arithmetic
+kernel and built-in reproduces the scalar reference interpreter bit for
+bit on the active lanes — inactive lanes are never observable:
+
+* the assignment merge rules (:func:`masked_assign`, :func:`full_assign`,
+  :func:`uniform_assign`, :func:`decl_scalar`, :func:`merge_parts`,
+  :func:`int_truncate`) implement C's dynamic int-truncation — a slot that
+  currently holds an integer stays integer when assigned a float — and
+  merge divergent arms into one lane array;
+* the arithmetic kernels (:func:`apply_binary`, :func:`varying_div`,
+  :func:`varying_mod`, :func:`uniform_div`, :func:`uniform_mod`) implement
+  C semantics (truncation toward zero for integer ``/`` and ``%``) and
+  raise :class:`~repro.kernellang.errors.InterpreterError` exactly when an
+  *active* lane divides by zero;
+* the built-in table (:data:`VECTOR_BUILTINS`, :func:`scalar_map`,
+  :class:`VectorFallback`, :func:`uniform_call`) provides mask-aware
+  vector kernels where NumPy rounds identically to libm and a per-active-
+  lane scalar fallback everywhere else, with the interpreter's exact
+  error wrapping;
+* :class:`Flow` / :class:`FnFlow` carry the returned-lane bookkeeping of
+  kernel bodies and masked-inlined helpers;
+* :class:`MaskedControlFlow` is the dynamic form of the pass — a
+  statement executor that threads the mask through ``if``/``for``/
+  ``while``/``do-while`` (including ``break``/``continue``/``return``)
+  until every lane retires.  The vectorized backend runs it directly; the
+  codegen backend prints the same algebra as specialized source and calls
+  back into these functions by name at run time, which is what keeps the
+  two backends bit-identical.
+
+Invariant: a ``barrier()`` must be reached by *all* lanes of the group at
+the same statement; divergent barriers raise
+:class:`~repro.clsim.errors.BarrierDivergenceError` rather than silently
+drifting from the lock-step reference.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...clsim.errors import BarrierDivergenceError
+from .. import ast
+from ..builtins import SYNC_BUILTINS, get_builtin
+from ..errors import InterpreterError
+
+_INT = np.int64
+_FLOAT = np.float64
+
+
+def _is_int(array: np.ndarray) -> bool:
+    return array.dtype.kind in "iu"
+
+
+def truthy(array: np.ndarray) -> np.ndarray:
+    """Per-lane C truthiness: nonzero is true."""
+    return array != 0
+
+
+# ---------------------------------------------------------------------------
+# Mask-aware built-ins
+# ---------------------------------------------------------------------------
+def scalar_map(fn):
+    """Apply a scalar libm function per active lane (bit-exact fallback)."""
+
+    def apply(mask, *args):
+        out = np.zeros(mask.shape[0], dtype=_FLOAT)
+        idx = np.flatnonzero(mask)
+        lanes = [np.asarray(a, dtype=_FLOAT)[idx] for a in args]
+        out[idx] = [fn(*vals) for vals in zip(*lanes)]
+        return out
+
+    return apply
+
+
+def _vector_clamp(mask, value, low, high):
+    return np.minimum(np.maximum(value, low), high)
+
+
+def _vector_select(mask, a, b, c):
+    return np.where(truthy(np.asarray(c)), b, a)
+
+
+def _int_result(fn):
+    """Wrap a float-returning ufunc whose interpreter twin returns ``int``."""
+
+    def apply(mask, x):
+        return fn(x).astype(_INT)
+
+    return apply
+
+
+def _vector_sqrt(mask, x):
+    x = np.asarray(x, dtype=_FLOAT)
+    if np.any(mask & (x < 0)):
+        # The scalar interpreter raises through math.sqrt; don't let lanes
+        # silently produce NaN where the reference backend errors out.
+        raise InterpreterError("built-in 'sqrt' failed: math domain error")
+    return np.sqrt(np.where(mask, x, 0.0))
+
+
+def _vector_rsqrt(mask, x):
+    x = np.asarray(x, dtype=_FLOAT)
+    if np.any(mask & (x < 0)):
+        raise InterpreterError("built-in 'rsqrt' failed: math domain error")
+    if np.any(mask & (x == 0)):
+        raise InterpreterError("built-in 'rsqrt' failed: float division by zero")
+    return 1.0 / np.sqrt(np.where(mask, x, 1.0))
+
+
+def _vector_native_divide(mask, a, b):
+    b = np.asarray(b)
+    if np.any(mask & (b == 0)):
+        raise InterpreterError("built-in 'native_divide' failed: float division by zero")
+    return np.asarray(a, dtype=_FLOAT) / np.where(b == 0, 1.0, b)
+
+
+#: Vector implementations of the built-ins; signature ``fn(mask, *args)``.
+#: Anything missing here falls back to the scalar implementation per lane.
+VECTOR_BUILTINS = {
+    "min": lambda mask, a, b: np.minimum(a, b),
+    "max": lambda mask, a, b: np.maximum(a, b),
+    "fmin": lambda mask, a, b: np.minimum(a, b),
+    "fmax": lambda mask, a, b: np.maximum(a, b),
+    "clamp": _vector_clamp,
+    "abs": lambda mask, x: np.abs(x),
+    "fabs": lambda mask, x: np.abs(x),
+    "floor": _int_result(np.floor),
+    "ceil": _int_result(np.ceil),
+    "round": _int_result(np.round),
+    "sign": lambda mask, x: np.sign(x).astype(_FLOAT),
+    "mad": lambda mask, a, b, c: a * b + c,
+    "fma": lambda mask, a, b, c: a * b + c,
+    "mix": lambda mask, a, b, t: a + (b - a) * t,
+    "select": _vector_select,
+    "sqrt": _vector_sqrt,
+    "rsqrt": _vector_rsqrt,
+    "native_divide": _vector_native_divide,
+}
+
+
+def builtin_impl(name: str):
+    """Resolve a built-in's scalar implementation (uniform call path)."""
+    return get_builtin(name).impl
+
+
+def uniform_call(name: str, impl, *args):
+    """Uniform built-in call with the interpreter's error wrapping."""
+    try:
+        return impl(*args)
+    except Exception as exc:
+        raise InterpreterError(f"built-in {name!r} failed: {exc}") from exc
+
+
+class VectorFallback:
+    """Per-active-lane scalar fallback for built-ins without a vector kernel."""
+
+    __slots__ = ("name", "apply")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.apply = scalar_map(get_builtin(name).impl)
+
+    def __call__(self, mask, *args):
+        try:
+            return self.apply(mask, *args)
+        except Exception as exc:
+            raise InterpreterError(f"built-in {self.name!r} failed: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# C-semantics arithmetic kernels
+# ---------------------------------------------------------------------------
+def uniform_div(left, right):
+    """Uniform ``/`` with the scalar interpreter's exact semantics."""
+    if isinstance(left, int) and isinstance(right, int):
+        if right == 0:
+            raise InterpreterError("integer division by zero")
+        quotient = left // right
+        if left % right != 0 and (left < 0) != (right < 0):
+            quotient += 1
+        return quotient
+    if right == 0:
+        raise InterpreterError("division by zero")
+    return left / right
+
+
+def uniform_mod(left, right):
+    """Uniform ``%`` with the scalar interpreter's exact semantics."""
+    if right == 0:
+        raise InterpreterError("modulo by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        return int(math.fmod(left, right))
+    return math.fmod(left, right)
+
+
+def varying_div(left, right, mask):
+    """Varying ``/``: C truncation toward zero, errors on *active* lanes."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    int_int = _is_int(left) and _is_int(right)
+    if np.any(mask & (right == 0)):
+        if int_int:
+            raise InterpreterError("integer division by zero")
+        raise InterpreterError("division by zero")
+    if _is_int(right):
+        safe = np.where(right == 0, 1, right)
+    else:
+        safe = np.where(right == 0, 1.0, right)
+    if int_int:
+        quotient = np.floor_divide(left, safe)
+        remainder = left - quotient * safe
+        return quotient + ((remainder != 0) & ((left < 0) ^ (safe < 0)))
+    return left / safe
+
+
+def varying_mod(left, right, mask):
+    """Varying ``%``: C ``fmod`` semantics, errors on *active* lanes."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if np.any(mask & (right == 0)):
+        raise InterpreterError("modulo by zero")
+    safe = np.where(right == 0, 1, right)
+    return np.fmod(left, safe)
+
+
+def apply_binary(op: str, left, right, mask: np.ndarray) -> np.ndarray:
+    """Lane-wise binary operator on varying operands (interpreter semantics)."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if op == "/":
+        return varying_div(left, right, mask)
+    if op == "%":
+        return varying_mod(left, right, mask)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op in ("<", ">", "<=", ">=", "==", "!="):
+        table = {
+            "<": np.less,
+            ">": np.greater,
+            "<=": np.less_equal,
+            ">=": np.greater_equal,
+            "==": np.equal,
+            "!=": np.not_equal,
+        }
+        return table[op](left, right).astype(_INT)
+    if op in ("&", "|", "^", "<<", ">>"):
+        l_int = left.astype(_INT)
+        r_int = right.astype(_INT)
+        if op == "&":
+            return l_int & r_int
+        if op == "|":
+            return l_int | r_int
+        if op == "^":
+            return l_int ^ r_int
+        if op == "<<":
+            return l_int << r_int
+        return l_int >> r_int
+    raise InterpreterError(f"unsupported binary operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Assignment merge rules
+# ---------------------------------------------------------------------------
+def int_truncate(value):
+    """Varying store into an int-typed slot: truncate unless already int."""
+    value = np.asarray(value)
+    return value if _is_int(value) else value.astype(_INT)
+
+
+def uniform_assign(existing, value):
+    """Uniform assignment with the interpreter's dynamic int-truncation rule."""
+    if isinstance(existing, int) and isinstance(value, float):
+        return int(value)
+    return value
+
+
+def full_assign(existing, value):
+    """Full-mask varying assignment with the dynamic int-truncation rule."""
+    value = np.asarray(value)
+    if _is_int(existing) and not _is_int(value):
+        return value.astype(_INT)
+    return value
+
+
+def masked_assign(existing, value, mask):
+    """Masked varying assignment: active lanes take ``value``, dtype sticks.
+
+    Follows C (and the scalar interpreter): assigning a float to an
+    integer slot truncates toward zero, and the slot stays integer.
+    """
+    value = np.asarray(value)
+    if _is_int(existing) and not _is_int(value):
+        value = value.astype(_INT)
+    dtype = np.result_type(existing.dtype, value.dtype)
+    if _is_int(existing):
+        dtype = existing.dtype
+    merged = existing.astype(dtype)
+    merged[mask] = value.astype(dtype)[mask]
+    return merged
+
+
+def decl_scalar(existing, value, mask):
+    """Scalar re-declaration under a divergent mask.
+
+    Only the active lanes observe the fresh value; inactive lanes keep
+    what the slot held before the divergent region was entered.
+    """
+    value = np.asarray(value)
+    if isinstance(existing, np.ndarray) and not mask.all():
+        return masked_assign(existing, value, mask)
+    return value
+
+
+def merge_parts(lanes: int, parts):
+    """Merge the evaluated arms of a varying ternary into one lane array."""
+    dtype = np.result_type(*(np.asarray(v).dtype for _, v in parts))
+    result = np.zeros(lanes, dtype=dtype)
+    for mask, value in parts:
+        result[mask] = np.asarray(value, dtype=dtype)[mask]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Control-flow bookkeeping
+# ---------------------------------------------------------------------------
+class Flow:
+    """Per-invocation control-flow state (returned lanes, loop stacks)."""
+
+    def __init__(self, lanes: int, in_function: bool = False) -> None:
+        self.lanes = lanes
+        self.in_function = in_function
+        self.returned = np.zeros(lanes, dtype=bool)
+        self.return_value: np.ndarray | None = None
+        self.break_stack: list[np.ndarray] = []
+        self.continue_stack: list[np.ndarray] = []
+
+    def record_return(self, mask: np.ndarray, value: np.ndarray | None) -> None:
+        self.returned = self.returned | mask
+        if value is None:
+            return
+        value = np.asarray(value)
+        if self.return_value is None:
+            # Lanes that fall off the end of a function return 0 (an int),
+            # exactly like the scalar interpreter.
+            self.return_value = np.zeros(self.lanes, dtype=_INT)
+        merged = self.return_value.astype(
+            np.result_type(self.return_value.dtype, value.dtype)
+        )
+        merged[mask] = value.astype(merged.dtype)[mask]
+        self.return_value = merged
+
+
+class FnFlow:
+    """Return-lane bookkeeping of one masked-inlined helper call."""
+
+    __slots__ = ("lanes", "returned", "value")
+
+    def __init__(self, lanes: int) -> None:
+        self.lanes = lanes
+        self.returned = np.zeros(lanes, dtype=bool)
+        self.value = None
+
+    def record(self, mask: np.ndarray, value) -> None:
+        self.returned = self.returned | mask
+        if value is None:
+            return
+        value = np.asarray(value)
+        if self.value is None:
+            self.value = np.zeros(self.lanes, dtype=_INT)
+        merged = self.value.astype(np.result_type(self.value.dtype, value.dtype))
+        merged[mask] = value.astype(merged.dtype)[mask]
+        self.value = merged
+
+    def result(self):
+        if self.value is None:
+            return np.zeros(self.lanes, dtype=_INT)
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# The dynamic masked statement executor
+# ---------------------------------------------------------------------------
+class MaskedControlFlow:
+    """Executes kernellang statements with a per-lane mask threaded through.
+
+    Mixin: the concrete group state provides ``lanes`` (int), ``barriers``
+    (int counter), ``eval(expr, env, flow, mask)`` and
+    ``_exec_decl(decl, env, flow, mask)``.  Every statement method takes
+    the current active mask and returns the mask live *after* the
+    statement; ``return``/``break``/``continue`` kill their lanes by
+    recording them in ``flow`` and returning an empty mask.
+    """
+
+    def exec_block(self, block: ast.Block, env, flow: Flow, mask: np.ndarray):
+        for stmt in block.statements:
+            if not mask.any():
+                break
+            mask = self.exec_stmt(stmt, env, flow, mask)
+        return mask
+
+    def exec_stmt(self, stmt: ast.Stmt, env, flow: Flow, mask: np.ndarray):
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarations:
+                self._exec_decl(decl, env, flow, mask)
+            return mask
+        if isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call) and stmt.expr.name in SYNC_BUILTINS:
+                if stmt.expr.name == "barrier":
+                    self._exec_barrier(flow, mask)
+                return mask
+            self.eval(stmt.expr, env, flow, mask)
+            return mask
+        if isinstance(stmt, ast.Block):
+            return self.exec_block(stmt, env, flow, mask)
+        if isinstance(stmt, ast.IfStmt):
+            cond = truthy(self.eval(stmt.condition, env, flow, mask))
+            then_mask = mask & cond
+            else_mask = mask & ~cond
+            out = else_mask
+            if then_mask.any():
+                out = self.exec_block(stmt.then_body, env, flow, then_mask) | else_mask
+            if stmt.else_body is not None and else_mask.any():
+                out = (out & ~else_mask) | self.exec_block(
+                    stmt.else_body, env, flow, else_mask
+                )
+            return out
+        if isinstance(stmt, ast.ForStmt):
+            return self._exec_for(stmt, env, flow, mask)
+        if isinstance(stmt, ast.WhileStmt):
+            return self._exec_loop(
+                env, flow, mask, condition=stmt.condition, body=stmt.body
+            )
+        if isinstance(stmt, ast.DoWhileStmt):
+            return self._exec_loop(
+                env,
+                flow,
+                mask,
+                condition=stmt.condition,
+                body=stmt.body,
+                check_first=False,
+            )
+        if isinstance(stmt, ast.ReturnStmt):
+            value = None
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env, flow, mask)
+            flow.record_return(mask, value)
+            return mask & False
+        if isinstance(stmt, ast.BreakStmt):
+            if not flow.break_stack:
+                raise InterpreterError("break outside of a loop")
+            flow.break_stack[-1] |= mask
+            return mask & False
+        if isinstance(stmt, ast.ContinueStmt):
+            if not flow.continue_stack:
+                raise InterpreterError("continue outside of a loop")
+            flow.continue_stack[-1] |= mask
+            return mask & False
+        raise InterpreterError(f"unsupported statement {type(stmt).__name__}")
+
+    def _exec_barrier(self, flow: Flow, mask: np.ndarray) -> None:
+        if flow.in_function:
+            raise InterpreterError("helper functions may not contain barriers")
+        if flow.returned.any() or not mask.all():
+            raise BarrierDivergenceError(
+                "work-items of the group reached different numbers of barriers"
+            )
+        self.barriers += 1
+
+    def _exec_for(self, stmt: ast.ForStmt, env, flow: Flow, mask: np.ndarray):
+        if stmt.init is not None:
+            mask = self.exec_stmt(stmt.init, env, flow, mask)
+        return self._exec_loop(
+            env, flow, mask, condition=stmt.condition, body=stmt.body, step=stmt.step
+        )
+
+    def _exec_loop(
+        self,
+        env,
+        flow: Flow,
+        mask: np.ndarray,
+        condition: ast.Expr | None,
+        body: ast.Block,
+        step: ast.Expr | None = None,
+        check_first: bool = True,
+    ):
+        entered = mask
+        active = mask.copy()
+        flow.break_stack.append(np.zeros(self.lanes, dtype=bool))
+        first = True
+        while active.any():
+            if condition is not None and (check_first or not first):
+                cond = truthy(self.eval(condition, env, flow, active))
+                active = active & cond
+                if not active.any():
+                    break
+            first = False
+            flow.continue_stack.append(np.zeros(self.lanes, dtype=bool))
+            after = self.exec_block(body, env, flow, active)
+            active = after | flow.continue_stack.pop()
+            if step is not None and active.any():
+                self.eval(step, env, flow, active)
+        flow.break_stack.pop()
+        return entered & ~flow.returned

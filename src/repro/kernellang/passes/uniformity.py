@@ -1,0 +1,543 @@
+"""Uniformity analysis: classify every kernel variable as uniform or varying.
+
+**Consumes** a parsed :class:`~repro.kernellang.ast.Program`, one kernel
+name, the baked work-group shape and the batched flag.  **Guarantees
+downstream** a fully populated :class:`~repro.kernellang.ir.Scope` per
+function body — every scalar variable carries a kind (``"u"`` uniform /
+``"v"`` varying) and a static dtype (``"i"``/``"f"``/``"x"``), every
+container name carries its address space — plus the two shape decisions
+the mask-insertion pass needs:
+
+* :meth:`UniformityAnalysis._loop_masked` — whether a loop needs per-lane
+  mask machinery (varying trip count, varying init of the induction
+  variable, or masked kills escaping from its body) or can run as a plain
+  uniform loop;
+* ``has_masked_return`` — whether any kernel-level ``return`` executes
+  under a divergent mask, which forces the return-lane bookkeeping
+  (``_ret``) into the lowered prologue.
+
+The analysis is a fixpoint over the statement walk: kinds and dtypes only
+ever move *up* the lattices of :mod:`repro.kernellang.ir` (uniform may
+become varying, never the reverse), so the walk converges; a bound of 50
+iterations guards pathological programs.  Divergence is tracked exactly
+the way the emitters replay it — a statement whose subtree kills lanes
+(``return``/``break``/``continue`` escaping through a mask merge) leaves
+the rest of its block divergent, so declarations after it are classified
+the way they will execute.  Helper calls are summarized per (callee,
+argument kinds, divergence) signature and memoized; recursion and
+inlining deeper than :data:`UniformityAnalysis.MAX_INLINE_DEPTH` raise
+:class:`~repro.kernellang.ir.LoweringError`, as does any construct no
+backend can specialize — always at analysis time, never after a lane has
+run, so callers can fall back to a dynamic backend.
+"""
+
+from __future__ import annotations
+
+from .. import ast
+from ..builtins import (
+    BUILTIN_CONSTANTS,
+    CONTEXT_BUILTINS,
+    SYNC_BUILTINS,
+    is_builtin,
+)
+from ..interpreter import KernelInterpreter, _ConstantArray
+from ..ir import (
+    BUILTIN_RESULT_DT,
+    LoweringError,
+    Scope,
+    ScopeView,
+    binop_dtype,
+    join_kind,
+    promote_dt,
+)
+from ..types import PointerType, ScalarType
+
+
+class UniformityAnalysis:
+    """Classifies one kernel of a program for lowering.
+
+    The emitters subclass this (the codegen printer) or call it through
+    :func:`classify_kernel`; every ``_c_*`` method is a side-effect-free
+    classification twin of the corresponding emission step.
+    """
+
+    #: Inline depth bound: kernellang has no recursion, this guards cycles.
+    MAX_INLINE_DEPTH = 16
+
+    def __init__(
+        self,
+        program: ast.Program,
+        kernel_name: str | None,
+        local_size: tuple[int, ...],
+        batched: bool,
+    ) -> None:
+        self.program = program
+        self.kernel_def = program.kernel(kernel_name)
+        self.functions = {f.name: f for f in program.functions}
+        # Reuse the interpreter's constant evaluation so file-scope constants
+        # are guaranteed to agree with the reference backend.
+        self.constants = KernelInterpreter(program, self.kernel_def.name).constants
+        self.local_size = tuple(int(v) for v in local_size)
+        self.batched = batched
+        self.has_masked_return = False
+        self._inline_stack: list[str] = []
+        self._fn_memo: dict = {}
+
+    def _unsupported(self, what: str) -> LoweringError:
+        return LoweringError(f"codegen cannot specialize {what}")
+
+    # -- scope construction -----------------------------------------------
+    def kernel_scope(self) -> Scope:
+        """The kernel body's entry scope: constants + parameters seeded."""
+        scope = Scope()
+        self._seed_constants(scope)
+        for param in self.kernel_def.params:
+            if isinstance(param.param_type, PointerType):
+                scope.space[param.name] = "global"
+                scope.py[param.name] = f"c_{param.name}"
+            else:
+                scope.kind[param.name] = "u"
+                scope.dt[param.name] = (
+                    "i"
+                    if isinstance(param.param_type, ScalarType)
+                    and param.param_type.is_integer
+                    else "f"
+                )
+                scope.py[param.name] = f"v_{param.name}"
+        return scope
+
+    def _seed_constants(self, scope: Scope) -> None:
+        for name, value in self.constants.items():
+            if isinstance(value, _ConstantArray):
+                scope.space[name] = "constant"
+                scope.py[name] = f"kc_{name}"
+            else:
+                scope.kind[name] = "u"
+                scope.dt[name] = "i" if isinstance(value, int) else "f"
+                scope.py[name] = f"k_{name}"
+
+    # -- classification: expression kinds -------------------------------
+    def _c_assign(self, scope: Scope, name: str, kind: str, dt: str, div: bool,
+                  decl: bool = False) -> None:
+        if kind == "v" or div or scope.kind.get(name) == "v":
+            scope.kind[name] = "v"
+        else:
+            scope.kind.setdefault(name, "u")
+        old = scope.dt.get(name)
+        if old is None:
+            new = dt
+        elif not decl and old == "i":
+            new = "i"  # dynamic int-truncation keeps the slot integer
+        elif old == dt:
+            new = old
+        else:
+            new = "x"
+        scope.dt[name] = new
+
+    def _c_expr(self, expr, scope: Scope, div: bool) -> tuple[str, str]:
+        """Kind/dtype of ``expr``; records assignment side effects."""
+        if isinstance(expr, ast.IntLiteral) or isinstance(expr, ast.BoolLiteral):
+            return ("u", "i")
+        if isinstance(expr, ast.FloatLiteral):
+            return ("u", "f")
+        if isinstance(expr, ast.Identifier):
+            name = expr.name
+            if name in scope.space:
+                return ("c", scope.space[name])
+            if name in scope.kind:
+                return (scope.kind[name], scope.dt.get(name, "x"))
+            if name in BUILTIN_CONSTANTS:
+                return ("u", "i" if isinstance(BUILTIN_CONSTANTS[name], int) else "f")
+            if getattr(scope, "optimistic", False):
+                # Loop-shape queries may run before a nested declaration has
+                # been classified; assume uniform — the fixpoint re-checks
+                # once the variable's real kind is known (kinds only go up).
+                return ("u", "x")
+            raise self._unsupported(f"undefined identifier {name!r}")
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op in ("++", "--"):
+                k, dt = self._c_expr(expr.operand, scope, div)
+                if isinstance(expr.operand, ast.Identifier):
+                    self._c_assign(scope, expr.operand.name, k, dt, div)
+                return (("v" if div else k), dt)
+            k, dt = self._c_expr(expr.operand, scope, div)
+            if expr.op == "!":
+                return (k, "i")
+            if expr.op == "~":
+                return (k, "i")
+            return (k, dt)
+        if isinstance(expr, ast.BinaryOp):
+            lk, ldt = self._c_expr(expr.left, scope, div)
+            sub_div = div or lk == "v"
+            rk, rdt = self._c_expr(expr.right, scope, sub_div if expr.op in ("&&", "||") else div)
+            k = join_kind(lk, rk)
+            return (k, binop_dtype(expr.op, ldt, rdt))
+        if isinstance(expr, ast.Assignment):
+            vk, vdt = self._c_expr(expr.value, scope, div)
+            if expr.op != "=":
+                tk, tdt = self._c_expr(expr.target, scope, div)
+                vk, vdt = join_kind(tk, vk), self._c_binop_dt(expr.op[:-1], tdt, vdt)
+            if isinstance(expr.target, ast.Identifier):
+                self._c_assign(scope, expr.target.name, vk, vdt, div)
+            elif isinstance(expr.target, ast.Index):
+                self._c_expr(expr.target.base, scope, div)
+                self._c_expr(expr.target.index, scope, div)
+            return (vk, vdt)
+        if isinstance(expr, ast.Ternary):
+            ck, _ = self._c_expr(expr.condition, scope, div)
+            sub_div = div or ck == "v"
+            ak, adt = self._c_expr(expr.if_true, scope, sub_div)
+            bk, bdt = self._c_expr(expr.if_false, scope, sub_div)
+            return (join_kind(ck, ak, bk), promote_dt(adt, bdt))
+        if isinstance(expr, ast.Call):
+            return self._c_call(expr, scope, div)
+        if isinstance(expr, ast.Index):
+            bk = self._c_expr(expr.base, scope, div)
+            ik, _ = self._c_expr(expr.index, scope, div)
+            if bk[0] != "c":
+                raise self._unsupported("indexing a non-array value")
+            space = bk[1]
+            if space == "private":
+                return ("v", "f")
+            if space in ("global", "local") and self.batched:
+                return ("v", "f")
+            return (ik, "f")
+        if isinstance(expr, ast.Cast):
+            k, _ = self._c_expr(expr.expr, scope, div)
+            if isinstance(expr.target_type, ScalarType):
+                return (k, "i" if expr.target_type.is_integer else "f")
+            return (k, "x")
+        if isinstance(expr, ast.InitList):
+            raise self._unsupported("an initializer list outside a declaration")
+        raise self._unsupported(f"expression {type(expr).__name__}")
+
+    def _c_binop_dt(self, op: str, ldt: str, rdt: str) -> str:
+        return binop_dtype(op, ldt, rdt)
+
+    def _c_call(self, call: ast.Call, scope: Scope, div: bool) -> tuple[str, str]:
+        name = call.name
+        if name in CONTEXT_BUILTINS:
+            self._context_dim(call)  # validates the dim argument
+            if name in ("get_global_id", "get_local_id"):
+                return ("v", "i")
+            return ("u", "i")
+        if name in SYNC_BUILTINS:
+            raise self._unsupported("barrier()/mem_fence() inside an expression")
+        if is_builtin(name):
+            kinds, dts = [], []
+            for arg in call.args:
+                k, dt = self._c_expr(arg, scope, div)
+                if k == "c":
+                    raise self._unsupported(f"array argument to built-in {name!r}")
+                kinds.append(k)
+                dts.append(dt)
+            cls = BUILTIN_RESULT_DT.get(name, "x")
+            dt = {"p": promote_dt(*dts) if dts else "i", "f": "f", "i": "i",
+                  "x": "x"}[cls]
+            return (join_kind(*kinds) if kinds else "u", dt)
+        if name in self.functions:
+            func = self.functions[name]
+            arg_sigs = tuple(self._c_expr(arg, scope, div) for arg in call.args)
+            kind, dt, _simple = self._fn_summary(func, arg_sigs, div)
+            return (kind, dt)
+        raise self._unsupported(f"call to unknown function {name!r}")
+
+    def _context_dim(self, call: ast.Call) -> int:
+        if not call.args:
+            return 0
+        arg = call.args[0]
+        if not isinstance(arg, ast.IntLiteral):
+            raise self._unsupported(
+                f"a non-literal dimension argument to {call.name}()"
+            )
+        dim = arg.value
+        if not 0 <= dim < len(self.local_size):
+            raise self._unsupported(
+                f"{call.name}({dim}) outside the launch rank"
+            )
+        return dim
+
+    # -- classification: statements --------------------------------------
+    def _fn_simple(self, func: ast.FunctionDef) -> bool:
+        """Straight-line body ending in a single return: inlines uniformly."""
+        stmts = func.body.statements
+        if not stmts or not isinstance(stmts[-1], ast.ReturnStmt):
+            return False
+        if stmts[-1].value is None:
+            return False
+        for stmt in stmts[:-1]:
+            if not isinstance(stmt, (ast.DeclStmt, ast.ExprStmt)):
+                return False
+            if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.Call) \
+                    and stmt.expr.name in SYNC_BUILTINS:
+                return False
+        return self._count_returns(func.body) == 1
+
+    def _count_returns(self, block) -> int:
+        count = 0
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt):
+                count += 1
+            elif isinstance(stmt, (ast.Block,)):
+                count += self._count_returns(stmt)
+            elif isinstance(stmt, ast.IfStmt):
+                count += self._count_returns(stmt.then_body)
+                if stmt.else_body is not None:
+                    count += self._count_returns(stmt.else_body)
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                count += self._count_returns(stmt.body)
+        return count
+
+    def _callee_scope(self, func: ast.FunctionDef, arg_sigs) -> Scope:
+        scope = Scope()
+        self._seed_constants(scope)
+        if len(arg_sigs) != len(func.params):
+            raise self._unsupported(
+                f"call to {func.name!r} with {len(arg_sigs)} arguments "
+                f"(expects {len(func.params)})"
+            )
+        for index, (param, sig) in enumerate(zip(func.params, arg_sigs)):
+            if sig[0] == "c":
+                scope.space[param.name] = sig[1]
+                scope.py[param.name] = ""  # bound at emission time
+            else:
+                scope.kind[param.name] = sig[0]
+                scope.dt[param.name] = sig[1]
+                scope.py[param.name] = ""
+        return scope
+
+    def _fn_summary(self, func: ast.FunctionDef, arg_sigs, div: bool):
+        """(kind, dt, simple) of a helper call with the given argument kinds."""
+        key = (func.name, arg_sigs, div, self.batched)
+        cached = self._fn_memo.get(key)
+        if cached is not None:
+            return cached
+        if func.name in self._inline_stack:
+            raise self._unsupported(f"recursive helper function {func.name!r}")
+        if len(self._inline_stack) >= self.MAX_INLINE_DEPTH:
+            raise self._unsupported("helper inlining deeper than 16 levels")
+        self._inline_stack.append(func.name)
+        try:
+            simple = self._fn_simple(func)
+            scope = self._callee_scope(func, arg_sigs)
+            body_div = div or not simple
+            self._classify(func.body, scope, body_div, in_function=True)
+            if simple:
+                kind, dt = self._c_expr(
+                    func.body.statements[-1].value, scope, body_div
+                )
+                result = (kind, dt, True)
+            else:
+                dts = self._return_dts(func.body, scope, body_div)
+                dt = promote_dt("i", *dts) if dts else "i"
+                result = ("v", dt, False)
+        finally:
+            self._inline_stack.pop()
+        self._fn_memo[key] = result
+        return result
+
+    def _return_dts(self, block, scope, div) -> list[str]:
+        dts: list[str] = []
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+                dts.append(self._c_expr(stmt.value, scope, div)[1])
+            elif isinstance(stmt, ast.Block):
+                dts.extend(self._return_dts(stmt, scope, div))
+            elif isinstance(stmt, ast.IfStmt):
+                dts.extend(self._return_dts(stmt.then_body, scope, div))
+                if stmt.else_body is not None:
+                    dts.extend(self._return_dts(stmt.else_body, scope, div))
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                dts.extend(self._return_dts(stmt.body, scope, div))
+        return dts
+
+    def _classify(self, block, scope: Scope, div: bool, in_function: bool) -> None:
+        """Run the statement walk to a fixpoint (kinds only ever go up)."""
+        for _ in range(50):
+            before = (dict(scope.kind), dict(scope.dt))
+            self._c_block(block, scope, div, in_function)
+            if (scope.kind, scope.dt) == before:
+                return
+        raise self._unsupported("a program whose classification does not converge")
+
+    def _c_block(self, block, scope, div, in_function) -> bool:
+        """Classify a block; returns the divergence state *after* the block.
+
+        Mirrors the emitter exactly: a statement whose subtree kills lanes
+        (return / break / continue escaping through a mask merge) leaves
+        the remainder of the block divergent, so later declarations are
+        classified — and pre-initialized — the way they will be emitted.
+        """
+        for stmt in block.statements:
+            div = self._c_stmt(stmt, scope, div, in_function)
+        return div
+
+    def _c_stmt(self, stmt, scope, div, in_function) -> bool:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarations:
+                self._c_decl(decl, scope, div)
+            return div
+        if isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call) and stmt.expr.name in SYNC_BUILTINS:
+                return div
+            self._c_expr(stmt.expr, scope, div)
+            return div
+        if isinstance(stmt, ast.Block):
+            return self._c_block(stmt, scope, div, in_function)
+        if isinstance(stmt, ast.IfStmt):
+            ck, _ = self._c_expr(stmt.condition, scope, div)
+            branch_div = div or ck == "v"
+            self._c_block(stmt.then_body, scope, branch_div, in_function)
+            if stmt.else_body is not None:
+                self._c_block(stmt.else_body, scope, branch_div, in_function)
+            kills = self._contains_kills(stmt.then_body) or (
+                stmt.else_body is not None
+                and self._contains_kills(stmt.else_body)
+            )
+            return div or bool(kills)
+        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+            if isinstance(stmt, ast.ForStmt) and stmt.init is not None:
+                self._c_stmt(stmt.init, scope, div, in_function)
+            masked = self._loop_masked(stmt, scope, div)
+            body_div = div or masked
+            if stmt.condition is not None:
+                self._c_expr(stmt.condition, scope, body_div)
+            self._c_block(stmt.body, scope, body_div, in_function)
+            if isinstance(stmt, ast.ForStmt) and stmt.step is not None:
+                self._c_expr(stmt.step, scope, body_div)
+            return div or self._count_returns(stmt.body) > 0
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._c_expr(stmt.value, scope, div)
+            if div and not in_function:
+                self.has_masked_return = True
+            return div
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            return div
+        raise self._unsupported(f"statement {type(stmt).__name__}")
+
+    def _c_decl(self, decl: ast.VarDecl, scope: Scope, div: bool) -> None:
+        if decl.array_size is not None:
+            sk, _ = self._c_expr(decl.array_size, scope, div)
+            if sk == "v":
+                raise self._unsupported(
+                    f"array {decl.name!r} with a varying size"
+                )
+            scope.space[decl.name] = (
+                "local" if decl.address_space == "local" else "private"
+            )
+            scope.py.setdefault(decl.name, "")
+            if isinstance(decl.init, ast.InitList):
+                for value in decl.init.values:
+                    self._c_expr(value, scope, div)
+            return
+        if decl.init is not None:
+            vk, vdt = self._c_expr(decl.init, scope, div)
+        else:
+            vk, vdt = "u", "i"
+        if isinstance(decl.var_type, ScalarType) and decl.var_type.is_integer:
+            vdt = "i"
+        self._c_assign(scope, decl.name, vk, vdt, div, decl=True)
+        if div:
+            scope.divdecl.add(decl.name)
+
+    # -- loop shape decisions ---------------------------------------------
+    def _loop_masked(self, node, scope: Scope, outer_div: bool) -> bool:
+        if outer_div:
+            return True
+        if node.condition is not None:
+            ck, _ = self._c_expr(node.condition, ScopeView(scope), False)
+            if ck == "v":
+                return True
+        if isinstance(node, ast.ForStmt) and node.init is not None:
+            init = node.init
+            if isinstance(init, ast.DeclStmt):
+                for decl in init.declarations:
+                    if decl.init is not None and scope.kind.get(decl.name) == "v":
+                        return True
+            elif isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assignment):
+                target = init.expr.target
+                if isinstance(target, ast.Identifier) and scope.kind.get(target.name) == "v":
+                    return True
+        return self._body_has_masked_kills(node.body, scope, False)
+
+    def _body_has_masked_kills(self, block, scope, rel_div, in_inner=False) -> bool:
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt):
+                if rel_div:
+                    return True
+            elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+                if rel_div and not in_inner:
+                    return True
+            elif isinstance(stmt, ast.Block):
+                if self._body_has_masked_kills(stmt, scope, rel_div, in_inner):
+                    return True
+            elif isinstance(stmt, ast.IfStmt):
+                ck, _ = self._c_expr(stmt.condition, ScopeView(scope), False)
+                branch = rel_div or ck == "v"
+                if self._body_has_masked_kills(stmt.then_body, scope, branch, in_inner):
+                    return True
+                if stmt.else_body is not None and self._body_has_masked_kills(
+                    stmt.else_body, scope, branch, in_inner
+                ):
+                    return True
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                inner_masked = self._loop_masked(stmt, scope, rel_div)
+                if self._body_has_masked_kills(
+                    stmt.body, scope, rel_div or inner_masked, True
+                ):
+                    return True
+        return False
+
+    def _contains_kills(self, block, in_inner_loop=False) -> bool:
+        """Any return, or break/continue escaping to an enclosing loop."""
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt):
+                return True
+            if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+                if not in_inner_loop:
+                    return True
+            elif isinstance(stmt, ast.Block):
+                if self._contains_kills(stmt, in_inner_loop):
+                    return True
+            elif isinstance(stmt, ast.IfStmt):
+                if self._contains_kills(stmt.then_body, in_inner_loop):
+                    return True
+                if stmt.else_body is not None and self._contains_kills(
+                    stmt.else_body, in_inner_loop
+                ):
+                    return True
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+                if self._contains_kills(stmt.body, True):
+                    return True
+        return False
+
+    def _stmt_kills(self, stmt) -> bool:
+        if isinstance(stmt, (ast.ReturnStmt, ast.BreakStmt, ast.ContinueStmt)):
+            return True
+        if isinstance(stmt, ast.Block):
+            return self._contains_kills(stmt)
+        if isinstance(stmt, ast.IfStmt):
+            if self._contains_kills(stmt.then_body):
+                return True
+            return stmt.else_body is not None and self._contains_kills(stmt.else_body)
+        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt, ast.DoWhileStmt)):
+            return self._contains_kills(stmt.body, True)
+        return False
+
+
+def classify_kernel(
+    program: ast.Program,
+    kernel_name: str | None = None,
+    local_size: tuple[int, ...] = (1,),
+    batched: bool = False,
+) -> tuple[UniformityAnalysis, Scope]:
+    """Run the uniformity analysis on one kernel.
+
+    Returns the analysis object (carrying ``has_masked_return`` and the
+    helper summaries) and the kernel body's classified :class:`Scope`.
+    """
+    analysis = UniformityAnalysis(program, kernel_name, local_size, batched)
+    scope = analysis.kernel_scope()
+    analysis._classify(analysis.kernel_def.body, scope, False, False)
+    return analysis, scope

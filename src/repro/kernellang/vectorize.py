@@ -7,18 +7,29 @@ the same ASTs onto *batched* NumPy operations: all work-items of a work
 group execute together, SIMT-style, with an active-lane mask threaded
 through the control flow.
 
+The SIMT semantics live in the shared pass pipeline
+(:mod:`repro.kernellang.passes` — see ``docs/ir.md``); this module is the
+*dynamic* consumer, walking the AST per work group and calling straight
+into the passes (the codegen backend prints the same calls as specialized
+source, which is what keeps the two backends bit-identical):
+
 * gids/lids become ``(lanes,)`` index arrays built from the NDRange;
 * scalar variables become per-lane arrays (``int64``/``float64``, matching
   the interpreter's Python ``int``/``float`` semantics, including C
-  truncation for integer division and assignments to integer variables);
-* global buffers, local-memory tiles and private arrays become masked
-  gather/scatter operations whose access *counts* equal the number of
-  active lanes — so :class:`~repro.clsim.executor.ExecutionStats` counters
-  are reproduced exactly;
+  truncation for integer division and assignments to integer variables) —
+  the merge rules and arithmetic kernels are
+  :mod:`repro.kernellang.passes.masking`;
+* global buffers, local-memory tiles and private arrays become the shared
+  masked views (:mod:`repro.kernellang.passes.memory`, with the batched
+  segmented variants from :mod:`repro.kernellang.passes.batching`) whose
+  access *counts* equal the number of active lanes — so
+  :class:`~repro.clsim.executor.ExecutionStats` counters are reproduced
+  exactly;
 * divergent ``if``/``for``/``while``/``do-while`` (including
-  ``break``/``continue``/``return``) run with per-lane masks until every
-  lane retires, which reproduces data-dependent loops such as Median's
-  insertion sort;
+  ``break``/``continue``/``return``) run through
+  :class:`~repro.kernellang.passes.masking.MaskedControlFlow` with
+  per-lane masks until every lane retires, which reproduces data-dependent
+  loops such as Median's insertion sort;
 * ``barrier()`` must be reached by *all* lanes of the group at the *same
   statement* — a barrier is then a plain sequence point, since statements
   already execute group-wide.  This is deliberately stricter than the
@@ -26,8 +37,8 @@ through the control flow.
   work-item and therefore accepts balanced divergent barriers
   (``if (c) { barrier(); } else { barrier(); }``).  Rather than silently
   drifting on that pattern, this backend raises
-  :class:`BarrierDivergenceError`; none of the bundled or generated
-  kernels use it (their barriers are all at the top level).
+  :class:`~repro.clsim.errors.BarrierDivergenceError`; none of the bundled
+  or generated kernels use it (their barriers are all at the top level).
 
 Bit-exactness notes: lane arithmetic is IEEE double, exactly like the
 interpreter's Python floats.  ``sqrt``/``rsqrt``/``native_divide`` use
@@ -47,294 +58,49 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..clsim.errors import BarrierDivergenceError
 from ..clsim.kernel import Kernel, KernelContext
-from ..clsim.memory import Buffer, SegmentedBuffer
+from ..clsim.memory import Buffer
 from . import ast
 from .builtins import (
     BUILTIN_CONSTANTS,
     CONTEXT_BUILTINS,
     SYNC_BUILTINS,
-    get_builtin,
     is_builtin,
 )
 from .errors import InterpreterError
 from .interpreter import KernelInterpreter, _ConstantArray
+from .passes.batching import (
+    SegGlobalView,
+    SegLocalView,
+    lane_requests,
+    segmented_global_view,
+)
+from .passes.masking import (
+    VECTOR_BUILTINS,
+    Flow,
+    MaskedControlFlow,
+    VectorFallback,
+    apply_binary,
+    decl_scalar,
+    masked_assign,
+    merge_parts,
+    truthy,
+)
+from .passes.memory import ConstantView, GlobalView, LocalView, PrivateView
 from .types import PointerType, ScalarType
 
 _INT = np.int64
 _FLOAT = np.float64
 
-
-def _is_int(array: np.ndarray) -> bool:
-    return array.dtype.kind in "iu"
-
-
-def _truthy(array: np.ndarray) -> np.ndarray:
-    return array != 0
-
-
-def _scalar_map(fn):
-    """Apply a scalar libm function per active lane (bit-exact fallback)."""
-
-    def apply(mask, *args):
-        out = np.zeros(mask.shape[0], dtype=_FLOAT)
-        idx = np.flatnonzero(mask)
-        lanes = [np.asarray(a, dtype=_FLOAT)[idx] for a in args]
-        out[idx] = [fn(*vals) for vals in zip(*lanes)]
-        return out
-
-    return apply
-
-
-def _vector_clamp(mask, value, low, high):
-    return np.minimum(np.maximum(value, low), high)
-
-
-def _vector_select(mask, a, b, c):
-    return np.where(_truthy(np.asarray(c)), b, a)
-
-
-def _int_result(fn):
-    """Wrap a float-returning ufunc whose interpreter twin returns ``int``."""
-
-    def apply(mask, x):
-        return fn(x).astype(_INT)
-
-    return apply
-
-
-def _vector_sqrt(mask, x):
-    x = np.asarray(x, dtype=_FLOAT)
-    if np.any(mask & (x < 0)):
-        # The scalar interpreter raises through math.sqrt; don't let lanes
-        # silently produce NaN where the reference backend errors out.
-        raise InterpreterError("built-in 'sqrt' failed: math domain error")
-    return np.sqrt(np.where(mask, x, 0.0))
-
-
-def _vector_rsqrt(mask, x):
-    x = np.asarray(x, dtype=_FLOAT)
-    if np.any(mask & (x < 0)):
-        raise InterpreterError("built-in 'rsqrt' failed: math domain error")
-    if np.any(mask & (x == 0)):
-        raise InterpreterError("built-in 'rsqrt' failed: float division by zero")
-    return 1.0 / np.sqrt(np.where(mask, x, 1.0))
-
-
-def _vector_native_divide(mask, a, b):
-    b = np.asarray(b)
-    if np.any(mask & (b == 0)):
-        raise InterpreterError("built-in 'native_divide' failed: float division by zero")
-    return np.asarray(a, dtype=_FLOAT) / np.where(b == 0, 1.0, b)
-
-
-#: Vector implementations of the built-ins; signature ``fn(mask, *args)``.
-#: Anything missing here falls back to the scalar implementation per lane.
-_VECTOR_BUILTINS = {
-    "min": lambda mask, a, b: np.minimum(a, b),
-    "max": lambda mask, a, b: np.maximum(a, b),
-    "fmin": lambda mask, a, b: np.minimum(a, b),
-    "fmax": lambda mask, a, b: np.maximum(a, b),
-    "clamp": _vector_clamp,
-    "abs": lambda mask, x: np.abs(x),
-    "fabs": lambda mask, x: np.abs(x),
-    "floor": _int_result(np.floor),
-    "ceil": _int_result(np.ceil),
-    "round": _int_result(np.round),
-    "sign": lambda mask, x: np.sign(x).astype(_FLOAT),
-    "mad": lambda mask, a, b, c: a * b + c,
-    "fma": lambda mask, a, b, c: a * b + c,
-    "mix": lambda mask, a, b, t: a + (b - a) * t,
-    "select": _vector_select,
-    "sqrt": _vector_sqrt,
-    "rsqrt": _vector_rsqrt,
-    "native_divide": _vector_native_divide,
-}
-
-
-# ---------------------------------------------------------------------------
-# Lane-indexed memory objects
-# ---------------------------------------------------------------------------
-def _check_bounds(what: str, index: np.ndarray, mask: np.ndarray, length: int) -> None:
-    """Raise like the scalar interpreter if any *active* lane is out of range."""
-    bad = mask & ((index < 0) | (index >= length))
-    if np.any(bad):
-        raise InterpreterError(
-            f"{what}: index {int(index[bad][0])} out of bounds [0, {length})"
-        )
-
-
-class _VGlobal:
-    """Masked gather/scatter view of a global :class:`Buffer`."""
-
-    def __init__(self, buffer: Buffer) -> None:
-        self.buffer = buffer
-        self._flat = buffer.array.reshape(-1)
-        self._what = f"global buffer {buffer.name!r}"
-
-    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_bounds(self._what, index, mask, self._flat.size)
-        self.buffer.record_reads(int(mask.sum()))
-        return self._flat[np.where(mask, index, 0)].astype(_FLOAT)
-
-    def store(self, index: np.ndarray, value: np.ndarray, mask: np.ndarray) -> None:
-        _check_bounds(self._what, index, mask, self._flat.size)
-        self.buffer.record_writes(int(mask.sum()))
-        self._flat[index[mask]] = np.asarray(value, dtype=_FLOAT)[mask]
-
-
-class _VLocal:
-    """Masked view of a named tile in the work group's local memory."""
-
-    def __init__(self, ctx: KernelContext, name: str, length: int) -> None:
-        self.ctx = ctx
-        self.name = name
-        self.length = length
-        self._what = f"local array {name!r}"
-        ctx.local.allocate(name, (length,), dtype=_FLOAT)
-
-    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_bounds(self._what, index, mask, self.length)
-        tile = self.ctx.local.tile(self.name)
-        self.ctx.local.record_reads(int(mask.sum()))
-        return tile[np.where(mask, index, 0)].astype(_FLOAT)
-
-    def store(self, index: np.ndarray, value: np.ndarray, mask: np.ndarray) -> None:
-        _check_bounds(self._what, index, mask, self.length)
-        tile = self.ctx.local.tile(self.name)
-        self.ctx.local.record_writes(int(mask.sum()))
-        tile[index[mask]] = np.asarray(value, dtype=_FLOAT)[mask]
-
-
-class _VPrivate:
-    """A fixed-size per-lane private array (``lanes x length``)."""
-
-    def __init__(self, name: str, length: int, lanes: int) -> None:
-        self.name = name
-        self.length = length
-        self._what = f"private array {name!r}"
-        self.values = np.zeros((lanes, length), dtype=_FLOAT)
-        self._lane_idx = np.arange(lanes)
-
-    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_bounds(self._what, index, mask, self.length)
-        return self.values[self._lane_idx, np.where(mask, index, 0)]
-
-    def store(self, index: np.ndarray, value: np.ndarray, mask: np.ndarray) -> None:
-        _check_bounds(self._what, index, mask, self.length)
-        self.values[self._lane_idx[mask], index[mask]] = np.asarray(
-            value, dtype=_FLOAT
-        )[mask]
-
-
-class _VSegmentedGlobal:
-    """Masked gather/scatter into per-request segments of a batched buffer.
-
-    Used by batched launches: lane ``l`` belongs to request
-    ``lane_request[l]`` and addresses that request's segment of the stacked
-    :class:`~repro.clsim.memory.SegmentedBuffer`, so per-request indexing
-    (and bounds checking) is exactly that of an individual launch.
-    """
-
-    def __init__(self, buffer: SegmentedBuffer, base: np.ndarray) -> None:
-        self.buffer = buffer
-        self._flat = buffer.array.reshape(-1)
-        self._segment = buffer.segment_elements
-        self._base = base
-        self._what = f"global buffer {buffer.name!r}"
-
-    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_bounds(self._what, index, mask, self._segment)
-        self.buffer.record_reads(int(mask.sum()))
-        return self._flat[np.where(mask, index + self._base, 0)].astype(_FLOAT)
-
-    def store(self, index: np.ndarray, value: np.ndarray, mask: np.ndarray) -> None:
-        _check_bounds(self._what, index, mask, self._segment)
-        self.buffer.record_writes(int(mask.sum()))
-        self._flat[(index + self._base)[mask]] = np.asarray(value, dtype=_FLOAT)[mask]
-
-
-class _VSegmentedLocal:
-    """Per-request local tiles of a batched group, stacked back to back.
-
-    Each request's group gets its own ``length``-element tile (request ``r``
-    owns ``[r * length, (r + 1) * length)`` of one shared allocation), so
-    staging and reconstruction never mix data across batched requests.
-    """
-
-    def __init__(self, ctx: KernelContext, name: str, length: int, base: np.ndarray, batch: int) -> None:
-        self.ctx = ctx
-        self.name = name
-        self.length = length
-        self._base = base
-        self._what = f"local array {name!r}"
-        ctx.local.allocate(name, (batch * length,), dtype=_FLOAT)
-
-    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_bounds(self._what, index, mask, self.length)
-        tile = self.ctx.local.tile(self.name)
-        self.ctx.local.record_reads(int(mask.sum()))
-        return tile[np.where(mask, index + self._base, 0)].astype(_FLOAT)
-
-    def store(self, index: np.ndarray, value: np.ndarray, mask: np.ndarray) -> None:
-        _check_bounds(self._what, index, mask, self.length)
-        tile = self.ctx.local.tile(self.name)
-        self.ctx.local.record_writes(int(mask.sum()))
-        tile[(index + self._base)[mask]] = np.asarray(value, dtype=_FLOAT)[mask]
-
-
-class _VConstant:
-    """A file-scope ``__constant`` array (read-only, shared by all lanes)."""
-
-    def __init__(self, name: str, values: np.ndarray) -> None:
-        self.name = name
-        self.values = values
-        self._what = f"constant array {name!r}"
-
-    def load(self, index: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        _check_bounds(self._what, index, mask, self.values.size)
-        return self.values[np.where(mask, index, 0)].astype(_FLOAT)
-
-    def store(self, index, value, mask) -> None:
-        raise InterpreterError(f"constant array {self.name!r} is read-only")
-
-
+#: Everything the expression walker may index into (shared pass views).
 _CONTAINERS = (
-    _VGlobal,
-    _VLocal,
-    _VPrivate,
-    _VConstant,
-    _VSegmentedGlobal,
-    _VSegmentedLocal,
+    GlobalView,
+    LocalView,
+    PrivateView,
+    ConstantView,
+    SegGlobalView,
+    SegLocalView,
 )
-
-
-class _Flow:
-    """Per-invocation control-flow state (returned lanes, loop stacks)."""
-
-    def __init__(self, lanes: int, in_function: bool = False) -> None:
-        self.lanes = lanes
-        self.in_function = in_function
-        self.returned = np.zeros(lanes, dtype=bool)
-        self.return_value: np.ndarray | None = None
-        self.break_stack: list[np.ndarray] = []
-        self.continue_stack: list[np.ndarray] = []
-
-    def record_return(self, mask: np.ndarray, value: np.ndarray | None) -> None:
-        self.returned = self.returned | mask
-        if value is None:
-            return
-        value = np.asarray(value)
-        if self.return_value is None:
-            # Lanes that fall off the end of a function return 0 (an int),
-            # exactly like the scalar interpreter.
-            self.return_value = np.zeros(self.lanes, dtype=_INT)
-        merged = self.return_value.astype(
-            np.result_type(self.return_value.dtype, value.dtype)
-        )
-        merged[mask] = value.astype(merged.dtype)[mask]
-        self.return_value = merged
 
 
 class VectorizedKernel:
@@ -357,7 +123,7 @@ class VectorizedKernel:
         lanes = len(work_items)
         state = _GroupState(self, ctx, ndrange, work_items)
         mask = np.ones(lanes, dtype=bool)
-        flow = _Flow(lanes)
+        flow = Flow(lanes)
         env = state.build_environment()
         with np.errstate(all="ignore"):
             state.exec_block(self.kernel_def.body, env, flow, mask)
@@ -380,15 +146,20 @@ class VectorizedKernel:
         work_items = list(ndrange.work_items_in_group(group_id))
         state = _BatchedGroupState(self, ctx, ndrange, work_items, batch)
         mask = np.ones(state.lanes, dtype=bool)
-        flow = _Flow(state.lanes)
+        flow = Flow(state.lanes)
         env = state.build_environment()
         with np.errstate(all="ignore"):
             state.exec_block(self.kernel_def.body, env, flow, mask)
         return state.barriers * batch
 
 
-class _GroupState:
-    """Mutable execution state of one work group."""
+class _GroupState(MaskedControlFlow):
+    """Mutable execution state of one work group.
+
+    Statement dispatch (blocks, masked ``if``/loops, ``barrier``) is the
+    shared :class:`~repro.kernellang.passes.masking.MaskedControlFlow`
+    mixin; this class supplies the expression walker and the environment.
+    """
 
     def __init__(self, kernel: VectorizedKernel, ctx, ndrange, work_items) -> None:
         self.kernel = kernel
@@ -417,16 +188,16 @@ class _GroupState:
     # Container-construction hooks (overridden by _BatchedGroupState to
     # route every lane into its own request's buffer/tile segment).
     def _global_view(self, buffer: Buffer):
-        return _VGlobal(buffer)
+        return GlobalView(buffer)
 
     def _local_view(self, name: str, length: int):
-        return _VLocal(self.ctx, name, length)
+        return LocalView(self.ctx.local, name, length)
 
     def build_environment(self) -> dict[str, object]:
         env: dict[str, object] = {}
         for name, value in self.kernel.constants.items():
             if isinstance(value, _ConstantArray):
-                env[name] = _VConstant(name, value.values)
+                env[name] = ConstantView(name, value.values)
             else:
                 env[name] = self._full(value)
         for param in self.kernel.kernel_def.params:
@@ -443,120 +214,9 @@ class _GroupState:
         return env
 
     # ------------------------------------------------------------------
-    # Statements
+    # Declarations (statement dispatch itself lives in MaskedControlFlow)
     # ------------------------------------------------------------------
-    def exec_block(self, block: ast.Block, env, flow: _Flow, mask: np.ndarray):
-        for stmt in block.statements:
-            if not mask.any():
-                break
-            mask = self.exec_stmt(stmt, env, flow, mask)
-        return mask
-
-    def exec_stmt(self, stmt: ast.Stmt, env, flow: _Flow, mask: np.ndarray):
-        if isinstance(stmt, ast.DeclStmt):
-            for decl in stmt.declarations:
-                self._exec_decl(decl, env, flow, mask)
-            return mask
-        if isinstance(stmt, ast.ExprStmt):
-            if isinstance(stmt.expr, ast.Call) and stmt.expr.name in SYNC_BUILTINS:
-                if stmt.expr.name == "barrier":
-                    self._exec_barrier(flow, mask)
-                return mask
-            self.eval(stmt.expr, env, flow, mask)
-            return mask
-        if isinstance(stmt, ast.Block):
-            return self.exec_block(stmt, env, flow, mask)
-        if isinstance(stmt, ast.IfStmt):
-            cond = _truthy(self.eval(stmt.condition, env, flow, mask))
-            then_mask = mask & cond
-            else_mask = mask & ~cond
-            out = else_mask
-            if then_mask.any():
-                out = self.exec_block(stmt.then_body, env, flow, then_mask) | else_mask
-            if stmt.else_body is not None and else_mask.any():
-                out = (out & ~else_mask) | self.exec_block(
-                    stmt.else_body, env, flow, else_mask
-                )
-            return out
-        if isinstance(stmt, ast.ForStmt):
-            return self._exec_for(stmt, env, flow, mask)
-        if isinstance(stmt, ast.WhileStmt):
-            return self._exec_loop(
-                env, flow, mask, condition=stmt.condition, body=stmt.body
-            )
-        if isinstance(stmt, ast.DoWhileStmt):
-            return self._exec_loop(
-                env,
-                flow,
-                mask,
-                condition=stmt.condition,
-                body=stmt.body,
-                check_first=False,
-            )
-        if isinstance(stmt, ast.ReturnStmt):
-            value = None
-            if stmt.value is not None:
-                value = self.eval(stmt.value, env, flow, mask)
-            flow.record_return(mask, value)
-            return mask & False
-        if isinstance(stmt, ast.BreakStmt):
-            if not flow.break_stack:
-                raise InterpreterError("break outside of a loop")
-            flow.break_stack[-1] |= mask
-            return mask & False
-        if isinstance(stmt, ast.ContinueStmt):
-            if not flow.continue_stack:
-                raise InterpreterError("continue outside of a loop")
-            flow.continue_stack[-1] |= mask
-            return mask & False
-        raise InterpreterError(f"unsupported statement {type(stmt).__name__}")
-
-    def _exec_barrier(self, flow: _Flow, mask: np.ndarray) -> None:
-        if flow.in_function:
-            raise InterpreterError("helper functions may not contain barriers")
-        if flow.returned.any() or not mask.all():
-            raise BarrierDivergenceError(
-                "work-items of the group reached different numbers of barriers"
-            )
-        self.barriers += 1
-
-    def _exec_for(self, stmt: ast.ForStmt, env, flow: _Flow, mask: np.ndarray):
-        if stmt.init is not None:
-            mask = self.exec_stmt(stmt.init, env, flow, mask)
-        return self._exec_loop(
-            env, flow, mask, condition=stmt.condition, body=stmt.body, step=stmt.step
-        )
-
-    def _exec_loop(
-        self,
-        env,
-        flow: _Flow,
-        mask: np.ndarray,
-        condition: ast.Expr | None,
-        body: ast.Block,
-        step: ast.Expr | None = None,
-        check_first: bool = True,
-    ):
-        entered = mask
-        active = mask.copy()
-        flow.break_stack.append(np.zeros(self.lanes, dtype=bool))
-        first = True
-        while active.any():
-            if condition is not None and (check_first or not first):
-                cond = _truthy(self.eval(condition, env, flow, active))
-                active = active & cond
-                if not active.any():
-                    break
-            first = False
-            flow.continue_stack.append(np.zeros(self.lanes, dtype=bool))
-            after = self.exec_block(body, env, flow, active)
-            active = after | flow.continue_stack.pop()
-            if step is not None and active.any():
-                self.eval(step, env, flow, active)
-        flow.break_stack.pop()
-        return entered & ~flow.returned
-
-    def _exec_decl(self, decl: ast.VarDecl, env, flow: _Flow, mask: np.ndarray) -> None:
+    def _exec_decl(self, decl: ast.VarDecl, env, flow: Flow, mask: np.ndarray) -> None:
         if decl.array_size is not None:
             length_arr = self.eval(decl.array_size, env, flow, mask)
             length = int(length_arr[np.argmax(mask)])
@@ -571,11 +231,11 @@ class _GroupState:
             if decl.address_space == "local":
                 env[decl.name] = self._local_view(decl.name, length)
             else:
-                array = _VPrivate(decl.name, length, self.lanes)
+                array = PrivateView(decl.name, length, self.lanes)
                 if isinstance(decl.init, ast.InitList):
                     for i, value_expr in enumerate(decl.init.values):
                         value = self.eval(value_expr, env, flow, mask)
-                        array.store(np.full(self.lanes, i, dtype=_INT), value, mask)
+                        array.storem(np.full(self.lanes, i, dtype=_INT), value, mask)
                 env[decl.name] = array
             return
         if decl.init is not None:
@@ -584,18 +244,14 @@ class _GroupState:
             value = np.zeros(self.lanes, dtype=_INT)
         if isinstance(decl.var_type, ScalarType) and decl.var_type.is_integer:
             value = np.asarray(value).astype(_INT)
-        existing = env.get(decl.name)
-        if isinstance(existing, np.ndarray) and not mask.all():
-            # Re-declaration inside a divergent loop body: only the active
-            # lanes get the fresh value (inactive lanes cannot observe it).
-            self._store_scalar(env, decl.name, value, mask)
-        else:
-            env[decl.name] = np.asarray(value)
+        # Re-declaration inside a divergent loop body: only the active lanes
+        # get the fresh value (inactive lanes cannot observe it).
+        env[decl.name] = decl_scalar(env.get(decl.name), value, mask)
 
     # ------------------------------------------------------------------
     # Expressions
     # ------------------------------------------------------------------
-    def eval(self, expr: ast.Expr, env, flow: _Flow, mask: np.ndarray) -> np.ndarray:
+    def eval(self, expr: ast.Expr, env, flow: Flow, mask: np.ndarray) -> np.ndarray:
         if isinstance(expr, ast.IntLiteral):
             return np.full(self.lanes, expr.value, dtype=_INT)
         if isinstance(expr, ast.FloatLiteral):
@@ -612,30 +268,29 @@ class _GroupState:
             return self._eval_unary(expr, env, flow, mask)
         if isinstance(expr, ast.BinaryOp):
             if expr.op == "&&":
-                left = _truthy(self.eval(expr.left, env, flow, mask))
+                left = truthy(self.eval(expr.left, env, flow, mask))
                 result = np.zeros(self.lanes, dtype=_INT)
                 right_mask = mask & left
                 if right_mask.any():
-                    right = _truthy(self.eval(expr.right, env, flow, right_mask))
+                    right = truthy(self.eval(expr.right, env, flow, right_mask))
                     result[right_mask & right] = 1
                 return result
             if expr.op == "||":
-                left = _truthy(self.eval(expr.left, env, flow, mask))
+                left = truthy(self.eval(expr.left, env, flow, mask))
                 result = np.zeros(self.lanes, dtype=_INT)
                 result[mask & left] = 1
                 right_mask = mask & ~left
                 if right_mask.any():
-                    right = _truthy(self.eval(expr.right, env, flow, right_mask))
+                    right = truthy(self.eval(expr.right, env, flow, right_mask))
                     result[right_mask & right] = 1
                 return result
             left = self.eval(expr.left, env, flow, mask)
             right = self.eval(expr.right, env, flow, mask)
-            return self._apply_binary(expr.op, left, right, mask)
+            return apply_binary(expr.op, left, right, mask)
         if isinstance(expr, ast.Assignment):
             return self._eval_assignment(expr, env, flow, mask)
         if isinstance(expr, ast.Ternary):
-            cond = _truthy(self.eval(expr.condition, env, flow, mask))
-            result = None
+            cond = truthy(self.eval(expr.condition, env, flow, mask))
             true_mask = mask & cond
             false_mask = mask & ~cond
             parts = []
@@ -645,11 +300,7 @@ class _GroupState:
                 parts.append(
                     (false_mask, self.eval(expr.if_false, env, flow, false_mask))
                 )
-            dtype = np.result_type(*(np.asarray(v).dtype for _, v in parts))
-            result = np.zeros(self.lanes, dtype=dtype)
-            for part_mask, value in parts:
-                result[part_mask] = np.asarray(value, dtype=dtype)[part_mask]
-            return result
+            return merge_parts(self.lanes, parts)
         if isinstance(expr, ast.Call):
             return self._eval_call(expr, env, flow, mask)
         if isinstance(expr, ast.Index):
@@ -657,7 +308,7 @@ class _GroupState:
             index = np.asarray(
                 self.eval(expr.index, env, flow, mask)
             ).astype(_INT)
-            return container.load(index, mask)
+            return container.loadm(index, mask)
         if isinstance(expr, ast.Cast):
             value = self.eval(expr.expr, env, flow, mask)
             if isinstance(expr.target_type, ScalarType) and expr.target_type.is_integer:
@@ -667,13 +318,13 @@ class _GroupState:
             return value
         raise InterpreterError(f"unsupported expression {type(expr).__name__}")
 
-    def eval_container(self, expr: ast.Expr, env, flow: _Flow, mask: np.ndarray):
+    def eval_container(self, expr: ast.Expr, env, flow: Flow, mask: np.ndarray):
         value = self.eval(expr, env, flow, mask)
         if isinstance(value, _CONTAINERS):
             return value
         raise InterpreterError(f"cannot index value of type {type(value).__name__}")
 
-    def _eval_unary(self, expr: ast.UnaryOp, env, flow: _Flow, mask: np.ndarray):
+    def _eval_unary(self, expr: ast.UnaryOp, env, flow: Flow, mask: np.ndarray):
         if expr.op in ("++", "--"):
             delta = 1 if expr.op == "++" else -1
             old = self.eval(expr.operand, env, flow, mask)
@@ -685,72 +336,20 @@ class _GroupState:
         if expr.op == "+":
             return operand
         if expr.op == "!":
-            return (~_truthy(operand)).astype(_INT)
+            return (~truthy(operand)).astype(_INT)
         if expr.op == "~":
             return ~np.asarray(operand).astype(_INT)
         raise InterpreterError(f"unsupported unary operator {expr.op!r}")
 
-    def _apply_binary(self, op: str, left, right, mask: np.ndarray) -> np.ndarray:
-        left = np.asarray(left)
-        right = np.asarray(right)
-        if op == "/":
-            if np.any(mask & (right == 0)):
-                if _is_int(left) and _is_int(right):
-                    raise InterpreterError("integer division by zero")
-                raise InterpreterError("division by zero")
-            safe = np.where(right == 0, 1, right) if _is_int(right) else np.where(
-                right == 0, 1.0, right
-            )
-            if _is_int(left) and _is_int(right):
-                # C semantics: truncation toward zero.
-                quotient = np.floor_divide(left, safe)
-                remainder = left - quotient * safe
-                return quotient + ((remainder != 0) & ((left < 0) ^ (safe < 0)))
-            return left / safe
-        if op == "%":
-            if np.any(mask & (right == 0)):
-                raise InterpreterError("modulo by zero")
-            safe = np.where(right == 0, 1, right)
-            return np.fmod(left, safe)
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op in ("<", ">", "<=", ">=", "==", "!="):
-            table = {
-                "<": np.less,
-                ">": np.greater,
-                "<=": np.less_equal,
-                ">=": np.greater_equal,
-                "==": np.equal,
-                "!=": np.not_equal,
-            }
-            return table[op](left, right).astype(_INT)
-        if op in ("&", "|", "^", "<<", ">>"):
-            l_int = left.astype(_INT)
-            r_int = right.astype(_INT)
-            if op == "&":
-                return l_int & r_int
-            if op == "|":
-                return l_int | r_int
-            if op == "^":
-                return l_int ^ r_int
-            if op == "<<":
-                return l_int << r_int
-            return l_int >> r_int
-        raise InterpreterError(f"unsupported binary operator {op!r}")
-
-    def _eval_assignment(self, expr: ast.Assignment, env, flow: _Flow, mask):
+    def _eval_assignment(self, expr: ast.Assignment, env, flow: Flow, mask):
         value = self.eval(expr.value, env, flow, mask)
         if expr.op != "=":
             current = self.eval(expr.target, env, flow, mask)
-            value = self._apply_binary(expr.op[:-1], current, value, mask)
+            value = apply_binary(expr.op[:-1], current, value, mask)
         self._store_to(expr.target, value, env, flow, mask)
         return value
 
-    def _store_to(self, target: ast.Expr, value, env, flow: _Flow, mask) -> None:
+    def _store_to(self, target: ast.Expr, value, env, flow: Flow, mask) -> None:
         if isinstance(target, ast.Identifier):
             if target.name not in env:
                 raise InterpreterError(
@@ -761,7 +360,7 @@ class _GroupState:
         if isinstance(target, ast.Index):
             container = self.eval_container(target.base, env, flow, mask)
             index = np.asarray(self.eval(target.index, env, flow, mask)).astype(_INT)
-            container.store(index, np.asarray(value), mask)
+            container.storem(index, np.asarray(value), mask)
             return
         raise InterpreterError("assignment target must be a variable or array element")
 
@@ -770,22 +369,17 @@ class _GroupState:
         value = np.asarray(value)
         if not isinstance(existing, np.ndarray):
             raise InterpreterError(f"cannot assign to {name!r}")
-        if _is_int(existing) and not _is_int(value):
+        if existing.dtype.kind in "iu" and value.dtype.kind not in "iu":
             # Follow C (and the scalar interpreter): assigning a float to an
             # integer variable truncates toward zero.
             value = value.astype(_INT)
         if mask.all():
             env[name] = value.copy() if value.base is not None else value
             return
-        dtype = np.result_type(existing.dtype, value.dtype)
-        if _is_int(existing):
-            dtype = existing.dtype
-        merged = existing.astype(dtype)
-        merged[mask] = value.astype(dtype)[mask]
-        env[name] = merged
+        env[name] = masked_assign(existing, value, mask)
 
     # ------------------------------------------------------------------
-    def _eval_call(self, call: ast.Call, env, flow: _Flow, mask: np.ndarray):
+    def _eval_call(self, call: ast.Call, env, flow: Flow, mask: np.ndarray):
         name = call.name
         if name in CONTEXT_BUILTINS:
             dim = 0
@@ -799,14 +393,10 @@ class _GroupState:
             )
         if is_builtin(name):
             args = [self.eval(arg, env, flow, mask) for arg in call.args]
-            vector = _VECTOR_BUILTINS.get(name)
+            vector = VECTOR_BUILTINS.get(name)
             if vector is not None:
                 return vector(mask, *args)
-            builtin = get_builtin(name)
-            try:
-                return _scalar_map(builtin.impl)(mask, *args)
-            except Exception as exc:
-                raise InterpreterError(f"built-in {name!r} failed: {exc}") from exc
+            return VectorFallback(name)(mask, *args)
         if name in self.kernel.functions:
             return self._call_user_function(
                 self.kernel.functions[name], call, env, flow, mask
@@ -829,7 +419,7 @@ class _GroupState:
         raise InterpreterError(f"unknown context built-in {name!r}")  # pragma: no cover
 
     def _call_user_function(
-        self, func: ast.FunctionDef, call: ast.Call, env, flow: _Flow, mask
+        self, func: ast.FunctionDef, call: ast.Call, env, flow: Flow, mask
     ):
         if len(call.args) != len(func.params):
             raise InterpreterError(
@@ -839,7 +429,7 @@ class _GroupState:
         callee_env: dict[str, object] = {}
         for name, value in self.kernel.constants.items():
             if isinstance(value, _ConstantArray):
-                callee_env[name] = _VConstant(name, value.values)
+                callee_env[name] = ConstantView(name, value.values)
             else:
                 callee_env[name] = self._full(value)
         for param, arg in zip(func.params, call.args):
@@ -849,7 +439,7 @@ class _GroupState:
             if not isinstance(value, _CONTAINERS):
                 value = np.asarray(value)
             callee_env[param.name] = value
-        callee_flow = _Flow(self.lanes, in_function=True)
+        callee_flow = Flow(self.lanes, in_function=True)
         self.exec_block(func.body, callee_env, callee_flow, mask)
         if callee_flow.return_value is None:
             return np.zeros(self.lanes, dtype=_INT)
@@ -865,7 +455,8 @@ class _BatchedGroupState(_GroupState):
     index arrays per request (the launches share one NDRange).  Global
     buffers must be :class:`~repro.clsim.memory.SegmentedBuffer` stacks and
     local tiles are allocated per request, so lanes of different requests
-    can never observe each other's data.
+    can never observe each other's data (the segmented views are the
+    batching transform, :mod:`repro.kernellang.passes.batching`).
     """
 
     def __init__(self, kernel, ctx, ndrange, work_items, batch: int) -> None:
@@ -874,19 +465,14 @@ class _BatchedGroupState(_GroupState):
         super().__init__(kernel, ctx, ndrange, list(work_items) * batch)
         self.batch = batch
         group_size = self.lanes // batch
-        self.lane_request = np.repeat(np.arange(batch, dtype=_INT), group_size)
+        self.lane_request = lane_requests(batch, group_size)
 
     def _global_view(self, buffer: Buffer):
-        if not isinstance(buffer, SegmentedBuffer) or buffer.batch != self.batch:
-            raise InterpreterError(
-                f"batched launch requires every pointer argument to be a "
-                f"SegmentedBuffer with {self.batch} segments, got {buffer!r}"
-            )
-        return _VSegmentedGlobal(buffer, self.lane_request * buffer.segment_elements)
+        return segmented_global_view(buffer, self.batch, self.lane_request)
 
     def _local_view(self, name: str, length: int):
-        return _VSegmentedLocal(
-            self.ctx, name, length, self.lane_request * length, self.batch
+        return SegLocalView(
+            self.ctx.local, name, length, self.lane_request * length, self.batch
         )
 
 

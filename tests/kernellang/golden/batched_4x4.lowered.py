@@ -1,0 +1,50 @@
+# repro-codegen artifact (format v2)
+# kernel: k  local_size=(4, 4)  batched=True
+
+def kernel_group(rt):
+    L = rt.L
+    M0 = rt.M0
+    _Z = rt.Z
+    _b = 0
+    g0 = rt.gid[0]
+    g1 = rt.gid[1]
+    c_input = rt.c['input']
+    c_output = rt.c['output']
+    v_width = rt.s['width']
+    v_height = rt.s['height']
+    v1_x = _np.asarray(g0).astype(_I)
+    v2_y = _np.asarray(g1).astype(_I)
+    v3_v = c_input.loadf(((((v2_y) * (v_width))) + (v1_x)))
+    v4_n = _np.full(L, int(0))
+    _ma5 = M0
+    while _ma5.any():
+        _ma5 = _ma5 & (((((v3_v) > (0.1)).astype(_I))) != 0)
+        if not _ma5.any():
+            break
+        _mc6 = _Z
+        _mx7 = _ma5
+        _c8 = ((((v4_n) >= (12)).astype(_I))) != 0
+        _m9 = _mx7 & _c8
+        _m10 = _mx7 & ~_c8
+        if _m9.any():
+            _m9 = _Z
+        _m11 = _m9 | _m10
+        if _m11.any():
+            _t12 = ((v3_v) * (0.5))
+            v3_v = _amask(v3_v, _t12, _m11)
+            _t13 = v4_n
+            _t14 = _t13 + (1)
+            v4_n = _amask(v4_n, _t14, _m11)
+        _mx7 = _m11
+        _ma5 = _mx7 | _mc6
+    _c15 = (((((v4_n) > (0)).astype(_I))) != 0)
+    _m16 = M0 & _c15
+    _m17 = M0 & ~_c15
+    _p18 = []
+    if _m16.any():
+        _p18.append((_m16, v3_v))
+    if _m17.any():
+        _p18.append((_m17, (-(v3_v))))
+    _t19 = _merge_parts(L, _p18)
+    c_output.storef(((((v2_y) * (v_width))) + (v1_x)), _t19)
+    return _b

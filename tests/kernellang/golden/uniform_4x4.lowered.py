@@ -1,0 +1,31 @@
+# repro-codegen artifact (format v2)
+# kernel: k  local_size=(4, 4)  batched=False
+_vb_clamp = _VB['clamp']
+
+def kernel_group(rt):
+    L = rt.L
+    M0 = rt.M0
+    _Z = rt.Z
+    _b = 0
+    g0 = rt.gid[0]
+    g1 = rt.gid[1]
+    c_input = rt.c['input']
+    c_output = rt.c['output']
+    v_width = rt.s['width']
+    v_height = rt.s['height']
+    v1_x = _np.asarray(g0).astype(_I)
+    v2_y = _np.asarray(g1).astype(_I)
+    v3_acc = _np.full(L, 0.0)
+    v4_dx = int((-(1)))
+    while True:
+        if not (int((v4_dx) <= (1))):
+            break
+        v5_cx = _np.asarray(_vb_clamp(M0, ((v1_x) + (v4_dx)), 0, ((v_width) - (1)))).astype(_I)
+        _t6 = ((v3_acc) + (c_input.loadf(((((v2_y) * (v_width))) + (v5_cx)))))
+        v3_acc = _t6
+        _t7 = v4_dx
+        _t8 = _t7 + (1)
+        v4_dx = _t8
+    _t9 = _vdiv(v3_acc, 3.0, M0)
+    c_output.storef(((((v2_y) * (v_width))) + (v1_x)), _t9)
+    return _b
