@@ -79,6 +79,12 @@ class CacheStats:
             f"/ {self.timing_evictions} evictions"
         )
 
+    def snapshot(self) -> dict:
+        """Canonical cache-stat shape shared by every cache (see repro.obs)."""
+        from ..obs.metrics import cache_snapshot
+
+        return cache_snapshot(self)
+
 
 def input_token(inputs: Any) -> Hashable:
     """A hashable fingerprint of an evaluation input.

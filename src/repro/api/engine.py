@@ -50,6 +50,7 @@ from ..core.pipeline import (
 )
 from ..core.quality import ErrorSummary, compute_error
 from ..core.tuning import SweepPoint, SweepResult, WorkGroupTiming
+from ..obs.trace import get_tracer
 from .cache import CacheStats, ResultCache
 
 T = TypeVar("T")
@@ -451,7 +452,11 @@ class PerforationEngine:
         app = self.resolve_app(app)
         if configs is None:
             configs = default_configurations(app.halo)
-        evaluations = self.evaluate_many(app, inputs, configs)
+        configs = list(configs)
+        with get_tracer().span(
+            "engine.sweep", category="calibrate", app=app.name, configs=len(configs)
+        ):
+            evaluations = self.evaluate_many(app, inputs, configs)
         result = SweepResult(app_name=app.name)
         result.points.extend(
             SweepPoint(

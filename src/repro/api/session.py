@@ -24,12 +24,14 @@ configuration when the budget is violated.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..clsim.backends import resolve_backend
+from ..obs.trace import get_tracer
 from ..core.config import ACCURATE_CONFIG, ApproximationConfig, WORK_GROUP_CANDIDATES
 from ..core.errors import TuningError
 from ..core.pipeline import ConfigurationResult, DatasetResult, baseline_config_for
@@ -296,8 +298,21 @@ class Session:
         """
         if self.error_budget is None or self.error_budget <= 0:
             raise TuningError("error budget must be positive")
+        tracer = get_tracer()
+        start_ns = time.monotonic_ns() if tracer.enabled else 0
         if tuner is not None:
-            return self._calibrate_with_tuner(calibration_inputs, tuner)
+            entries = self._calibrate_with_tuner(calibration_inputs, tuner)
+            if tracer.enabled:
+                tracer.record(
+                    "session.calibrate",
+                    category="calibrate",
+                    start_ns=start_ns,
+                    duration_ns=time.monotonic_ns() - start_ns,
+                    app=self.app.name,
+                    source="tuning-db",
+                    configs=len(entries),
+                )
+            return entries
         if calibration_inputs is None:
             calibration_inputs = [self._inputs_or_default(None)]
         if len(calibration_inputs) == 0:
@@ -339,6 +354,17 @@ class Session:
             )
         self.calibration.sort(key=lambda e: e.speedup, reverse=True)
         self.selected = self.select()
+        if tracer.enabled:
+            tracer.record(
+                "session.calibrate",
+                category="calibrate",
+                start_ns=start_ns,
+                duration_ns=time.monotonic_ns() - start_ns,
+                app=self.app.name,
+                source="sweep",
+                configs=len(self.calibration),
+                inputs=len(calibration_inputs),
+            )
         return self.calibration
 
     def _calibrate_with_tuner(

@@ -82,6 +82,12 @@ class StoreStats:
         # artifact cache's historical attribute form) and ``store.stats()``.
         return self
 
+    def snapshot(self) -> dict:
+        """Canonical cache-stat shape shared by every cache (see repro.obs)."""
+        from ..obs.metrics import cache_snapshot
+
+        return cache_snapshot(self)
+
 
 class DiskStore:
     """Content-keyed store of text entries under one directory.

@@ -22,11 +22,13 @@ handles performance separately).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from .backends import ExecutionBackend, resolve_backend
 from .device import Device, firepro_w5100
 from .errors import KernelExecutionError
@@ -101,6 +103,8 @@ class Executor:
         launch (useful for validating traffic profiles against the
         functional execution).
         """
+        tracer = get_tracer()
+        start_ns = time.monotonic_ns() if tracer.enabled else 0
         ndrange.validate_for_device(self.device)
         bound = kernel.bind_args(args)
         stats = ExecutionStats()
@@ -125,6 +129,20 @@ class Executor:
         for buf, reads0, writes0 in before:
             stats.global_counters.reads += buf.counters.reads - reads0
             stats.global_counters.writes += buf.counters.writes - writes0
+        if tracer.enabled:
+            tracer.record(
+                "clsim.launch",
+                category="launch",
+                start_ns=start_ns,
+                duration_ns=time.monotonic_ns() - start_ns,
+                kernel=kernel.name,
+                backend=self.backend.name,
+                work_items=stats.work_items,
+                work_groups=stats.work_groups,
+                barriers=stats.barriers,
+                global_accesses=stats.global_accesses,
+                local_accesses=stats.local_accesses,
+            )
         return stats
 
     # ------------------------------------------------------------------
@@ -158,6 +176,8 @@ class Executor:
                 stats.merge(self.run(kernel, ndrange, args))
             return stats
 
+        tracer = get_tracer()
+        start_ns = time.monotonic_ns() if tracer.enabled else 0
         ndrange.validate_for_device(self.device)
         batch = len(args_batch)
         bound_batch = [kernel.bind_args(args) for args in args_batch]
@@ -231,4 +251,19 @@ class Executor:
             arena = stacked[name]
             for index, bound in enumerate(bound_batch):
                 np.copyto(bound[name].array.reshape(-1), arena.segment(index))
+        if tracer.enabled:
+            tracer.record(
+                "clsim.launch_batch",
+                category="launch",
+                start_ns=start_ns,
+                duration_ns=time.monotonic_ns() - start_ns,
+                kernel=kernel.name,
+                backend=self.backend.name,
+                batch=batch,
+                work_items=stats.work_items,
+                work_groups=stats.work_groups,
+                barriers=stats.barriers,
+                global_accesses=stats.global_accesses,
+                local_accesses=stats.local_accesses,
+            )
         return stats

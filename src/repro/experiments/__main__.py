@@ -81,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for compiled-kernel runs "
         "(default: the interpreter backend)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record observability spans (repro.obs) and write a Chrome "
+        "trace-event JSON (chrome://tracing / Perfetto) to PATH; in fleet "
+        "mode worker spans merge into the same file",
+    )
     serve = parser.add_argument_group("serve-bench options")
     serve.add_argument(
         "--requests", type=int, default=None, help="trace length (serve-bench)"
@@ -220,9 +228,7 @@ def _run_autotune(args, parser: argparse.ArgumentParser) -> int:
     return 0 if result.passed else 1
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args, parser: argparse.ArgumentParser) -> int:
     if args.experiment == "serve-bench":
         return _run_serve_bench(args, parser)
     if args.experiment == "autotune":
@@ -237,6 +243,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     print(run_experiment(args.experiment, quick=args.quick, engine=engine))
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    tracer = None
+    if args.trace:
+        from ..obs.trace import install
+
+        tracer = install(process="main")
+    try:
+        return _dispatch(args, parser)
+    finally:
+        if tracer is not None:
+            from ..obs.export import write_chrome_trace
+
+            write_chrome_trace(args.trace, tracer.spans(), dropped=tracer.dropped)
+            print(f"trace written to {args.trace}")
 
 
 if __name__ == "__main__":

@@ -77,6 +77,8 @@ from typing import Iterable, Mapping, Sequence
 
 from ..clsim.backends import resolve_backend
 from ..core.errors import PerforationError
+from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
 from ..serve.controller import ControllerPolicy, OnlineController
 from ..serve.metrics import ServeMetrics
 from ..serve.requests import ServeRequest, ServeResponse
@@ -443,6 +445,10 @@ class PerforationFleet:
             monitor=self.monitor,
             strict=self.strict,
             generation=generation,
+            # Workers trace when the front-end traces (at spawn time), so
+            # their spans come back on drained/metrics frames and merge
+            # into the front-end's single trace.
+            trace=get_tracer().enabled,
             fail_after=chaos_fail,
             error_on=self.error_on,
             hang_on=chaos_hang,
@@ -560,6 +566,9 @@ class PerforationFleet:
     async def _serve_async(self, ordered: list[ServeRequest]) -> list[ServeResponse]:
         shards = ShardMap.for_trace(ordered, self.workers, self.backend_name)
         wall_start = time.perf_counter()
+        tracer = get_tracer()
+        #: wire id → enqueue time, for front-end fleet.request spans.
+        enqueued_ns: dict[int, int] = {}
         responses: dict[int, ServeResponse] = {}
         shed: list[ServeRequest] = []
         #: wire id → original request, for the current trace only.
@@ -592,6 +601,19 @@ class PerforationFleet:
                 wire_id = response.request_id
                 pending[index].discard(wire_id)
                 original = current_wire.get(wire_id)
+                if tracer.enabled and original is not None:
+                    start_ns = enqueued_ns.pop(wire_id, None)
+                    if start_ns is not None:
+                        tracer.record(
+                            "fleet.request",
+                            category="fleet",
+                            start_ns=start_ns,
+                            duration_ns=time.monotonic_ns() - start_ns,
+                            trace_id=original.trace_label,
+                            worker=index,
+                            app=original.app,
+                            wire_id=wire_id,
+                        )
                 if original is None:
                     # A replayed worker re-delivering an earlier trace's
                     # response (bit-identical to what was already returned).
@@ -647,6 +669,9 @@ class PerforationFleet:
 
         async def recover(index: int, reason: str) -> bool:
             """Respawn-and-replay worker ``index``; False = shard degraded."""
+            tracer.point(
+                "fleet.recover", category="fleet", worker=index, reason=reason
+            )
             async with self._send_locks[index]:
                 if self._dead[index]:
                     return False
@@ -741,6 +766,12 @@ class PerforationFleet:
                         return
                     record(index, frame.get("responses", []))
                     if kind == "drained":
+                        spans = frame.get("spans")
+                        if spans:
+                            # Worker-side spans ship on the drained frame and
+                            # merge into the front-end's single trace (the
+                            # worker labelled them with its process name).
+                            tracer.ingest(spans)
                         if frame.get("seq") == drain_seq_expected[index]:
                             return
                         # A replayed historical drain's echo — absorb it.
@@ -768,7 +799,14 @@ class PerforationFleet:
             self._wire_to_request[wire_id] = request
             current_wire[wire_id] = request
             pending[target].add(wire_id)
-            await queues[target].put((_SERVE, replace(request, request_id=wire_id)))
+            wire_request = replace(request, request_id=wire_id)
+            if tracer.enabled:
+                # Stamp the correlation id *before* the wire-id rewrite so
+                # front-end and worker spans agree on it; untraced frames
+                # stay byte-identical to the pre-tracing protocol.
+                wire_request = replace(wire_request, trace_id=request.trace_label)
+                enqueued_ns[wire_id] = time.monotonic_ns()
+            await queues[target].put((_SERVE, wire_request))
 
         # Drain at the last *global* arrival — exactly the virtual time
         # PerforationServer.run_trace drains at, which is what keeps batch
@@ -848,8 +886,15 @@ class PerforationFleet:
             )
             if frame is None or frame.get("type") != "metrics":
                 raise FleetError(f"worker {index} returned no metrics (got {frame!r})")
+            spans = frame.get("spans")
+            if spans:
+                get_tracer().ingest(spans)
             snapshots.append(
-                {"metrics": frame["metrics"], "controller": frame["controller"]}
+                {
+                    "metrics": frame["metrics"],
+                    "controller": frame["controller"],
+                    "obs": frame.get("obs"),
+                }
             )
         return snapshots
 
@@ -867,6 +912,27 @@ class PerforationFleet:
         if self._fleet_wall is not None:
             merged.finish(self._fleet_wall)
         return merged
+
+    def observability(self) -> obs_metrics.MetricsRegistry:
+        """Fleet-wide :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Merges every live worker's registry (shipped on its ``metrics``
+        frame — serve counters, all cache stats, controller decisions in
+        one shape) with the front-end's own shed/failed/recovery counters.
+        Collecting also pulls any worker-buffered spans into the
+        front-end's tracer as a side effect.
+        """
+        registry = obs_metrics.MetricsRegistry()
+        for snapshot in self.worker_metrics():
+            obs = snapshot.get("obs")
+            if obs:
+                registry.merge(obs_metrics.MetricsRegistry.from_dict(obs))
+        registry.counter("fleet.shed").inc(self._shed_total)
+        registry.counter("fleet.failed").inc(self._failed_total)
+        registry.counter("fleet.replayed").inc(self._replayed_total)
+        registry.counter("fleet.worker_failures").inc(self._worker_failures_total)
+        registry.gauge("fleet.workers").set(self.workers)
+        return registry
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -131,7 +131,7 @@ def from_wire(value: Any) -> Any:
 # Request / response codec
 # ---------------------------------------------------------------------------
 def request_to_wire(request: ServeRequest) -> dict:
-    return {
+    wire = {
         "request_id": request.request_id,
         "app": request.app,
         "inputs": to_wire(request.inputs),
@@ -140,6 +140,11 @@ def request_to_wire(request: ServeRequest) -> dict:
         "latency_budget_ms": request.latency_budget_ms,
         "priority": request.priority,
     }
+    if request.trace_id is not None:
+        # Observability correlation id: out-of-band, omitted when unset so
+        # untraced frames are byte-identical to the pre-tracing protocol.
+        wire["trace_id"] = request.trace_id
+    return wire
 
 
 def request_from_wire(data: dict) -> ServeRequest:
@@ -153,6 +158,7 @@ def request_from_wire(data: dict) -> ServeRequest:
             None if data.get("latency_budget_ms") is None else float(data["latency_budget_ms"])
         ),
         priority=int(data.get("priority", 0)),
+        trace_id=None if data.get("trace_id") is None else str(data["trace_id"]),
     )
 
 

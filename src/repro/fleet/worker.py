@@ -70,6 +70,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..obs import trace as obs_trace
 from ..serve.controller import ControllerPolicy
 from ..serve.server import PerforationServer
 from .protocol import (
@@ -114,6 +115,9 @@ class WorkerSpec:
     cache_capacity: int = 256
     monitor: bool = True
     strict: bool = True
+    #: Record observability spans in-process and ship them back on
+    #: ``drained``/``metrics`` frames (set when the front-end traces).
+    trace: bool = False
     #: 0 for the initial spawn; each front-end respawn increments it.
     generation: int = 0
     #: Chaos hook: hard-exit (simulated crash) after handling this many
@@ -139,6 +143,15 @@ def build_server(spec: WorkerSpec) -> tuple[PerforationServer, dict]:
         os.environ["REPRO_CODEGEN_CACHE"] = spec.codegen_cache
     for key, value in dict(spec.extra_env).items():
         os.environ[key] = value
+
+    # Workers record spans in memory only and ship them back on
+    # ``drained``/``metrics`` frames; the front-end writes the one merged
+    # trace file, so a worker never honours ``REPRO_TRACE``'s export path.
+    if spec.trace or obs_trace.env_trace_path() is not None:
+        obs_trace.install(
+            process=f"worker-{spec.index}"
+            + (f".g{spec.generation}" if spec.generation else "")
+        )
 
     from ..api.engine import PerforationEngine
 
@@ -248,23 +261,26 @@ def serve_connection(
                 responses = server.drain(math.inf if now_ms is None else float(now_ms))
                 elapsed = 0.0 if wall_start is None else time.perf_counter() - wall_start
                 server.metrics.finish(elapsed)
-                write_frame(
-                    stream,
-                    {
-                        "type": "drained",
-                        "seq": frame.get("seq"),
-                        "responses": [response_to_wire(r) for r in responses],
-                    },
-                )
+                drained: dict = {
+                    "type": "drained",
+                    "seq": frame.get("seq"),
+                    "responses": [response_to_wire(r) for r in responses],
+                }
+                tracer = obs_trace.get_tracer()
+                if tracer.enabled:
+                    drained["spans"] = tracer.drain()
+                write_frame(stream, drained)
             elif kind == "metrics":
-                write_frame(
-                    stream,
-                    {
-                        "type": "metrics",
-                        "metrics": server.metrics.to_dict(),
-                        "controller": server.controller.snapshot(),
-                    },
-                )
+                answer: dict = {
+                    "type": "metrics",
+                    "metrics": server.metrics.to_dict(),
+                    "controller": server.controller.snapshot(),
+                    "obs": server.observability().to_dict(),
+                }
+                tracer = obs_trace.get_tracer()
+                if tracer.enabled:
+                    answer["spans"] = tracer.drain()
+                write_frame(stream, answer)
             elif kind == "shutdown":
                 write_frame(stream, {"type": "bye"})
                 break

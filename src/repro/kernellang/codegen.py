@@ -1304,31 +1304,40 @@ class CodegenKernel:
         fn = _FN_MEMO.get(key)
         if fn is None:
             from ..api.artifacts import default_cache
+            from ..obs.trace import get_tracer
 
-            cache = default_cache()
-            source = cache.get(key) if cache is not None else None
-            from_cache = source is not None
-            if source is None:
-                source = lower_kernel(
-                    self.program, self.kernel_def.name, shape_key[0], batched
-                )
-            fn = _compile_artifact(source, key)
-            if fn is None and from_cache:
-                # Corrupt/stale on-disk artifact: drop it and lower fresh.
-                cache.invalidate(key)
-                source = lower_kernel(
-                    self.program, self.kernel_def.name, shape_key[0], batched
-                )
-                from_cache = False
+            with get_tracer().span(
+                "codegen.artifact",
+                category="lowering",
+                kernel=self.kernel_def.name,
+                local_size=list(shape_key[0]),
+                batched=batched,
+            ) as span:
+                cache = default_cache()
+                source = cache.get(key) if cache is not None else None
+                from_cache = source is not None
+                if source is None:
+                    source = lower_kernel(
+                        self.program, self.kernel_def.name, shape_key[0], batched
+                    )
                 fn = _compile_artifact(source, key)
-            if fn is None:
-                raise LoweringError(
-                    f"generated source for kernel {self.kernel_def.name!r} "
-                    f"failed to compile"
-                )
-            if cache is not None and not from_cache:
-                cache.put(key, source)
-            _FN_MEMO[key] = fn
+                if fn is None and from_cache:
+                    # Corrupt/stale on-disk artifact: drop it and lower fresh.
+                    cache.invalidate(key)
+                    source = lower_kernel(
+                        self.program, self.kernel_def.name, shape_key[0], batched
+                    )
+                    from_cache = False
+                    fn = _compile_artifact(source, key)
+                if fn is None:
+                    raise LoweringError(
+                        f"generated source for kernel {self.kernel_def.name!r} "
+                        f"failed to compile"
+                    )
+                if cache is not None and not from_cache:
+                    cache.put(key, source)
+                span.set(source="disk-cache" if from_cache else "lowered")
+                _FN_MEMO[key] = fn
         self._fns[shape_key] = fn
         return fn
 

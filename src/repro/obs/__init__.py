@@ -1,0 +1,30 @@
+"""Observability: tracing, metrics registry, and exporters.
+
+See docs/observability.md.  Everything here is strictly out-of-band —
+enabling or disabling tracing never changes computed results.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_snapshot,
+    default_registry,
+)
+from .trace import NULL_TRACER, Span, Tracer, disable, get_tracer, install
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "cache_snapshot",
+    "default_registry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "disable",
+    "get_tracer",
+    "install",
+]

@@ -46,6 +46,12 @@ class ServeCacheStats:
             f"(hit rate {self.hit_rate:.1%})"
         )
 
+    def snapshot(self) -> dict:
+        """Canonical cache-stat shape shared by every cache (see repro.obs)."""
+        from ..obs.metrics import cache_snapshot
+
+        return cache_snapshot(self)
+
 
 class ServeResultCache:
     """Thread-safe bounded LRU of (output, measured error) pairs."""

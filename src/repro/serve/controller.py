@@ -190,14 +190,40 @@ class OnlineController:
         state.ewma = error if state.ewma is None else alpha * error + (1 - alpha) * state.ewma
         state.since_switch += 1
 
+        before = state.index
         if state.ewma > budget:
             self._tighten(state, ladder)
+            if state.index != before:
+                self._trace_decision("tighten", app_name, budget, ladder, state)
         elif (
             state.index > 0
             and state.since_switch >= self.policy.min_dwell
             and state.ewma < self.policy.loosen_headroom * budget
         ):
             self._loosen(state, ladder, budget)
+            if state.index != before:
+                self._trace_decision("loosen", app_name, budget, ladder, state)
+
+    def _trace_decision(
+        self,
+        action: str,
+        app_name: str,
+        budget: float,
+        ladder: list[LadderEntry],
+        state: _StreamState,
+    ) -> None:
+        """Record a config-switch decision as an instant span (out-of-band)."""
+        from ..obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.point(
+                f"controller.{action}",
+                category="serve",
+                app=app_name,
+                budget=budget,
+                config=ladder[state.index].config.label,
+            )
 
     def _switch(self, state: _StreamState, index: int) -> None:
         state.index = index

@@ -43,6 +43,11 @@ class ServeRequest:
     priority:
         Higher priorities are placed first within a micro-batch and flush
         earlier when a batch overflows.
+    trace_id:
+        Correlation id for observability spans (see :mod:`repro.obs`).
+        Strictly out-of-band: it never influences scheduling, batching or
+        execution.  The fleet front-end stamps one before the wire-id
+        rewrite so worker-side spans can be merged back per request.
     """
 
     request_id: int
@@ -52,6 +57,7 @@ class ServeRequest:
     arrival_ms: float = 0.0
     latency_budget_ms: float | None = None
     priority: int = 0
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.error_budget <= 0:
@@ -67,6 +73,11 @@ class ServeRequest:
     def sort_key(self) -> tuple:
         """Deterministic in-batch ordering: priority first, then FIFO."""
         return (-self.priority, self.arrival_ms, self.request_id)
+
+    @property
+    def trace_label(self) -> str:
+        """The effective trace id: explicit, or derived from the request id."""
+        return self.trace_id if self.trace_id is not None else f"r{self.request_id}"
 
 
 @dataclass

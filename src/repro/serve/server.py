@@ -34,6 +34,8 @@ import numpy as np
 from ..api.engine import PerforationEngine
 from ..clsim.backends import ExecutionBackend, resolve_backend
 from ..core.quality import compute_error
+from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
 from .cache import ServeResultCache
 from .controller import ControllerPolicy, OnlineController
 from .metrics import ServeMetrics
@@ -92,6 +94,9 @@ class PerforationServer:
         self.metrics = ServeMetrics()
         self.monitor = monitor
         self.strict = strict
+        self._batch_seq = 0
+        self._arrived_wall_ns: dict[int, int] = {}
+        obs_metrics.register_collector(self.observability)
 
     # ------------------------------------------------------------------
     # Submission (virtual-time driven)
@@ -103,6 +108,8 @@ class PerforationServer:
         before ``now_ms`` — batches whose deadline passed before this
         arrival, plus any batch the submission filled up.
         """
+        if get_tracer().enabled:
+            self._arrived_wall_ns[request.request_id] = time.monotonic_ns()
         now = request.arrival_ms if now_ms is None else now_ms
         completed = self.poll(now)
         config = self.controller.choose(request.app, request.error_budget)
@@ -150,51 +157,64 @@ class PerforationServer:
         app = self.engine.resolve_app(batch.app)
         config = batch.config
         self.metrics.record_batch(len(batch))
+        self._batch_seq += 1
+        batch_id = self._batch_seq
 
-        wall_start = time.perf_counter()
-        cached: dict[int, tuple[np.ndarray, float | None]] = {}
-        keys: dict[int, object] = {}
-        misses: list[ServeRequest] = []
-        first_miss: dict[object, int] = {}
-        duplicate_of: dict[int, int] = {}
-        for request in batch.requests:
-            key = (
-                self.cache.key(app.name, config.label, request.inputs)
-                if self.cache is not None
-                else None
-            )
-            keys[request.request_id] = key
-            hit = self.cache.get(key) if self.cache is not None else None
-            if hit is not None:
-                cached[request.request_id] = hit
-            elif key is not None and key in first_miss:
-                # Identical input in the same micro-batch: execute once,
-                # fan the output out to the duplicates.
-                duplicate_of[request.request_id] = first_miss[key]
-            else:
-                if key is not None:
-                    first_miss[key] = request.request_id
-                misses.append(request)
+        with get_tracer().span(
+            "serve.batch",
+            category="serve",
+            app=app.name,
+            config=config.label,
+            batch_id=batch_id,
+            size=len(batch),
+        ) as span:
+            wall_start = time.perf_counter()
+            cached: dict[int, tuple[np.ndarray, float | None]] = {}
+            keys: dict[int, object] = {}
+            misses: list[ServeRequest] = []
+            first_miss: dict[object, int] = {}
+            duplicate_of: dict[int, int] = {}
+            for request in batch.requests:
+                key = (
+                    self.cache.key(app.name, config.label, request.inputs)
+                    if self.cache is not None
+                    else None
+                )
+                keys[request.request_id] = key
+                hit = self.cache.get(key) if self.cache is not None else None
+                if hit is not None:
+                    cached[request.request_id] = hit
+                elif key is not None and key in first_miss:
+                    # Identical input in the same micro-batch: execute once,
+                    # fan the output out to the duplicates.
+                    duplicate_of[request.request_id] = first_miss[key]
+                else:
+                    if key is not None:
+                        first_miss[key] = request.request_id
+                    misses.append(request)
 
-        outputs: dict[int, np.ndarray] = {}
-        if misses:
-            # The batched fast path: one perforated kernel, one stacked
-            # launch for every distinct cache miss of the micro-batch.
-            arrays = self.engine.run_compiled_batch(
-                app, [r.inputs for r in misses], config, backend=self.backend
-            )
-            for request, array in zip(misses, arrays):
-                outputs[request.request_id] = array
-        for duplicate, original in duplicate_of.items():
-            # Copy: each response's output belongs to its own caller.
-            outputs[duplicate] = np.array(outputs[original])
-        service_ms = (time.perf_counter() - wall_start) * 1000.0
+            outputs: dict[int, np.ndarray] = {}
+            if misses:
+                # The batched fast path: one perforated kernel, one stacked
+                # launch for every distinct cache miss of the micro-batch.
+                arrays = self.engine.run_compiled_batch(
+                    app, [r.inputs for r in misses], config, backend=self.backend
+                )
+                for request, array in zip(misses, arrays):
+                    outputs[request.request_id] = array
+            for duplicate, original in duplicate_of.items():
+                # Copy: each response's output belongs to its own caller.
+                outputs[duplicate] = np.array(outputs[original])
+            service_ms = (time.perf_counter() - wall_start) * 1000.0
+            span.set(cache_hits=len(cached), launched=len(misses))
 
-        responses = []
-        for request in batch.requests:
-            responses.append(
-                self._complete(batch, app, request, cached, outputs, keys, service_ms)
-            )
+            responses = []
+            for request in batch.requests:
+                responses.append(
+                    self._complete(
+                        batch, app, request, cached, outputs, keys, service_ms, batch_id
+                    )
+                )
         return responses
 
     def _complete(
@@ -206,6 +226,7 @@ class PerforationServer:
         outputs: dict,
         keys: dict,
         service_ms: float,
+        batch_id: int = 0,
     ) -> ServeResponse:
         config = batch.config
         cache_hit = request.request_id in cached
@@ -253,7 +274,76 @@ class PerforationServer:
             completed_ms=batch.formed_ms,
         )
         self.metrics.record_response(response, request.error_budget)
+        tracer = get_tracer()
+        if tracer.enabled:
+            end_ns = time.monotonic_ns()
+            start_ns = self._arrived_wall_ns.pop(request.request_id, end_ns)
+            tracer.record(
+                "serve.request",
+                category="serve",
+                start_ns=start_ns,
+                duration_ns=end_ns - start_ns,
+                trace_id=request.trace_label,
+                app=app.name,
+                config=config.label,
+                batch_id=batch_id,
+                batch_size=len(batch),
+                cache_hit=cache_hit,
+                fallback=fallback,
+                queue_delay_ms=response.queue_delay_ms,
+                service_ms=service_ms,
+            )
         return response
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def observability(self) -> obs_metrics.MetricsRegistry:
+        """One mergeable registry over every layer this server touches.
+
+        Absorbs the serve counters, the result caches (serve LRU and engine
+        memoization), the process-wide codegen artifact cache, the tuning
+        database (when the controller is tuner-backed), and the controller's
+        tighten/loosen decisions — the scattered stat structs in one shape.
+        """
+        registry = obs_metrics.MetricsRegistry()
+        m = self.metrics
+        for name, value in (
+            ("serve.completed", m.completed),
+            ("serve.violations", m.violations),
+            ("serve.fallbacks", m.fallbacks),
+            ("serve.cache_hits", m.cache_hits),
+            ("serve.shed", m.shed),
+            ("serve.failed", m.failed),
+            ("serve.worker_failures", m.worker_failures),
+            ("serve.replayed", m.replayed),
+            ("serve.batches", m.batches),
+        ):
+            registry.counter(name).inc(value)
+        registry.gauge("serve.worst_budget_fraction").set(m.worst_budget_fraction)
+        latency = registry.histogram("serve.latency_ms")
+        for value in m.latencies_ms:
+            latency.observe(value)
+        queue = registry.histogram("serve.queue_delay_ms")
+        for value in m.queue_delays_ms:
+            queue.observe(value)
+
+        if self.cache is not None:
+            registry.absorb_cache("serve.result_cache", self.cache.stats)
+        registry.absorb_cache("engine.result_cache", self.engine.cache_stats)
+        from ..api.artifacts import default_cache
+
+        artifact_cache = default_cache()
+        if artifact_cache is not None:
+            registry.absorb_cache("codegen.artifact_cache", artifact_cache.stats)
+        tuner = self.controller.tuner
+        if tuner is not None and getattr(tuner, "db", None) is not None:
+            registry.absorb_cache("autotune.tuning_db", tuner.db.stats())
+        for stream in self.controller.snapshot().values():
+            registry.counter("controller.switches").inc(stream["switches"])
+            registry.counter("controller.tightened").inc(stream["tightened"])
+            registry.counter("controller.loosened").inc(stream["loosened"])
+        return registry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

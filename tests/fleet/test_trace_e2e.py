@@ -1,0 +1,107 @@
+"""End-to-end fleet tracing: worker spans merge into one cross-process trace.
+
+Spawns real worker processes — slow tier.  The fast protocol-level pieces
+live in ``test_trace_propagation.py``.
+"""
+
+import pytest
+
+from repro.data import generate_image
+from repro.fleet import PerforationFleet
+from repro.obs import trace as obs_trace
+from repro.obs.export import to_chrome_trace
+from repro.serve import TraceSpec, generate_trace
+
+pytestmark = pytest.mark.slow
+
+SPEC = TraceSpec(
+    apps=("gaussian", "sobel3"),
+    requests=10,
+    size=32,
+    inputs_per_app=2,
+    seed=31,
+)
+
+
+def _calibration_inputs(size=32):
+    return {app: [generate_image("natural", size=size, seed=77)] for app in SPEC.apps}
+
+
+@pytest.fixture()
+def traced_fleet_run():
+    tracer = obs_trace.install(process="main")
+    try:
+        with PerforationFleet(
+            workers=2, max_batch=4, calibration_inputs=_calibration_inputs()
+        ) as fleet:
+            responses = fleet.serve_trace(generate_trace(SPEC))
+            registry = fleet.observability()  # also pulls worker spans
+        yield tracer, responses, registry
+    finally:
+        obs_trace.disable()
+
+
+def test_worker_spans_merge_with_matching_trace_ids(traced_fleet_run):
+    tracer, responses, registry = traced_fleet_run
+    spans = tracer.spans()
+
+    front = [s for s in spans if s.name == "fleet.request"]
+    served = [s for s in spans if s.name == "serve.request"]
+    assert len(front) == len(responses)
+    assert len(served) == len(responses)
+
+    # Front-end and worker halves of each request share one trace id.
+    assert {s.trace_id for s in front} == {s.trace_id for s in served}
+    assert {s.trace_id for s in front} == {f"r{r.request_id}" for r in responses}
+
+    # Worker spans kept their process labels; both workers contributed.
+    worker_processes = {s.process for s in served}
+    assert worker_processes == {"worker-0", "worker-1"}
+    # fleet.request spans know which worker served them.
+    for span in front:
+        assert span.process == "main"
+        assert span.attrs["worker"] in (0, 1)
+
+    # The wire shipped whole worker traces, not just request spans.
+    assert any(s.name == "serve.batch" for s in spans)
+    assert any(s.name == "clsim.launch" for s in spans)
+
+    # The merged registry folded both workers' serve counters.
+    assert registry.snapshot()["serve.completed"] == len(responses)
+    assert registry.snapshot()["fleet.workers"] == 2
+
+
+def test_merged_trace_exports_with_all_three_processes(traced_fleet_run):
+    tracer, _, _ = traced_fleet_run
+    doc = to_chrome_trace(tracer.spans(), dropped=tracer.dropped)
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names == {"main", "worker-0", "worker-1"}
+
+
+def test_tracing_survives_respawn_and_replay():
+    """Kill worker 0 after its first request: the respawned generation's
+    spans still arrive, labelled with its generation suffix."""
+    tracer = obs_trace.install(process="main")
+    try:
+        with PerforationFleet(
+            workers=2,
+            max_batch=4,
+            calibration_inputs=_calibration_inputs(),
+            fail_after={0: 1},
+        ) as fleet:
+            responses = fleet.serve_trace(generate_trace(SPEC))
+            fleet.metrics()  # final span pull from the survivors
+        spans = tracer.spans()
+    finally:
+        obs_trace.disable()
+
+    assert len(responses) == SPEC.requests
+    assert any(s.name == "fleet.recover" and s.attrs["worker"] == 0 for s in spans)
+    processes = {s.process for s in spans if s.name == "serve.request"}
+    # The replacement worker announces its generation in the process label.
+    assert "worker-0.g1" in processes
+    assert "worker-1" in processes

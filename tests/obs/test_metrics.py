@@ -1,0 +1,197 @@
+"""Metrics registry: typed metrics, merge semantics, cache snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_snapshot,
+)
+
+
+class TestCounter:
+    def test_inc_and_merge_add(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc()
+        a.inc(4)
+        b.inc(10)
+        a.merge(b)
+        assert a.value == 15
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("x")
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_merge_keeps_maximum(self):
+        a, b = Gauge("x"), Gauge("x")
+        a.set(2.0)
+        b.set(7.0)
+        a.merge(b)
+        assert a.value == 7.0
+
+
+class TestHistogram:
+    def test_observe_tracks_aggregates(self):
+        h = Histogram("x")
+        for value in (4.0, 1.0, 7.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == 12.0
+        assert h.min == 1.0
+        assert h.max == 7.0
+        assert h.mean == 4.0
+
+    def test_empty_histogram_is_json_safe(self):
+        # No inf min/max in the wire dict when nothing was observed.
+        d = Histogram("x").to_dict()
+        assert "min" not in d and "max" not in d
+        assert d["count"] == 0
+        assert Histogram("x").mean == 0.0
+
+    def test_merge_folds(self):
+        a, b = Histogram("x"), Histogram("x")
+        a.observe(2.0)
+        b.observe(5.0)
+        b.observe(1.0)
+        a.merge(b)
+        assert (a.count, a.sum, a.min, a.max) == (3, 8.0, 1.0, 5.0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.names() == ["a"]
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_round_trip_and_merge(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="a count").inc(3)
+        reg.gauge("g").set(2.5)
+        reg.histogram("h").observe(4.0)
+
+        other = MetricsRegistry.from_dict(reg.to_dict())
+        assert other.to_dict() == reg.to_dict()
+
+        reg.merge(other)
+        assert reg.get("c").value == 6
+        assert reg.get("g").value == 2.5  # max(2.5, 2.5)
+        assert reg.get("h").count == 2
+
+    def test_from_dict_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_dict({"x": {"type": "mystery"}})
+
+    def test_snapshot_is_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["h.count"] == 1
+        assert snap["h.min"] == 3.0
+
+    def test_merge_empty_histogram_keeps_values_finite_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # never observed
+        snap = reg.snapshot()
+        assert snap == {"h.count": 0, "h.sum": 0.0}
+
+
+class TestCacheSnapshot:
+    def test_zero_lookups_guarded(self):
+        class Empty:
+            hits = 0
+            misses = 0
+
+        snap = cache_snapshot(Empty())
+        assert snap["hit_rate"] == 0.0
+        assert snap["lookups"] == 0
+
+    def test_all_three_stat_structs_share_one_shape(self):
+        from repro.api.cache import CacheStats
+        from repro.api.store import StoreStats
+        from repro.serve.cache import ServeCacheStats
+
+        store = StoreStats(hits=3, misses=1, puts=4, evictions=2, errors=1)
+        serve = ServeCacheStats(hits=2, misses=2, evictions=1)
+        result = CacheStats(reference_hits=2, reference_misses=1, timing_hits=1)
+
+        keys = {
+            "hits",
+            "misses",
+            "evictions",
+            "puts",
+            "errors",
+            "lookups",
+            "hit_rate",
+        }
+        for stats in (store, serve, result):
+            snap = stats.snapshot()
+            assert set(snap) == keys
+            assert 0.0 <= snap["hit_rate"] <= 1.0
+        assert store.snapshot()["hit_rate"] == 0.75
+        assert serve.snapshot()["hit_rate"] == 0.5
+        assert result.snapshot()["hit_rate"] == 0.75
+
+    def test_absorb_cache_prefixes_metrics(self):
+        from repro.serve.cache import ServeCacheStats
+
+        reg = MetricsRegistry()
+        reg.absorb_cache("serve.result_cache", ServeCacheStats(hits=4, misses=1))
+        assert reg.get("serve.result_cache.hits").value == 4
+        assert reg.get("serve.result_cache.misses").value == 1
+        assert reg.get("serve.result_cache.hit_rate").value == pytest.approx(0.8)
+
+
+class TestCollectors:
+    def test_collector_appears_in_exposition_until_collected(self):
+        class Owner:
+            def observability(self) -> MetricsRegistry:
+                reg = MetricsRegistry()
+                reg.counter("owner.pings").inc(9)
+                return reg
+
+        owner = Owner()
+        obs_metrics.register_collector(owner.observability)
+        text = obs_metrics.exposition()
+        assert "owner_pings 9" in text
+
+        del owner
+        text = obs_metrics.exposition()
+        assert "owner_pings" not in text
+
+    def test_plain_function_collector_is_held(self):
+        def collect() -> MetricsRegistry:
+            reg = MetricsRegistry()
+            reg.counter("fn.calls").inc(1)
+            return reg
+
+        obs_metrics.register_collector(collect)
+        assert "fn_calls 1" in obs_metrics.exposition()
+
+    def test_failing_collector_is_skipped(self):
+        def bad() -> MetricsRegistry:
+            raise RuntimeError("nope")
+
+        obs_metrics.register_collector(bad)
+        obs_metrics.exposition()  # must not raise
